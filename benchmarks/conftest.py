@@ -1,0 +1,154 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper.  Simulation
+runs are expensive (seconds each), so a session-scoped :class:`RunCache`
+memoizes workloads, compression oracles, and simulation results across
+benchmark files -- Figure 17, 18, and 19 all read the same iso-capacity
+runs, for example.
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_ACCESSES`` -- trace length per workload (default 60000).
+- ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset of the 12 paper
+  workloads (default: a 7-workload representative set; set to ``all``
+  for the full suite as in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
+from repro.sim.experiments import (
+    IsoCapacityResult,
+    IsoPerformanceResult,
+    SplitResult,
+    iso_capacity_comparison,
+    iso_performance_capacity,
+    osinspired_split,
+    run_workload,
+)
+from repro.sim.results import SimResult
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
+from repro.workloads.trace import Workload
+
+DEFAULT_WORKLOADS = (
+    "pageRank", "shortestPath", "bfs", "kcore", "mcf", "omnetpp", "canneal",
+)
+
+
+def bench_workload_names() -> Tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if raw.strip().lower() == "all":
+        return PAPER_WORKLOAD_NAMES
+    if raw.strip():
+        return tuple(name.strip() for name in raw.split(","))
+    return DEFAULT_WORKLOADS
+
+
+def bench_accesses() -> int:
+    return int(os.environ.get("REPRO_BENCH_ACCESSES", "60000"))
+
+
+class RunCache:
+    """Memoizes everything the figure benches share."""
+
+    def __init__(self) -> None:
+        self.system = SystemConfig()
+        self._workloads: Dict[str, Workload] = {}
+        self._models: Dict[str, PageCompressionModel] = {}
+        self._runs: Dict[tuple, SimResult] = {}
+        self._iso: Dict[str, IsoCapacityResult] = {}
+        self._iso_perf: Dict[str, IsoPerformanceResult] = {}
+        self._splits: Dict[tuple, SplitResult] = {}
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            self._workloads[name] = workload_by_name(
+                name, max_accesses=bench_accesses()
+            )
+        return self._workloads[name]
+
+    def model(self, name: str) -> PageCompressionModel:
+        if name not in self._models:
+            workload = self.workload(name)
+            self._models[name] = PageCompressionModel(
+                workload.content,
+                sample_pages=self.system.compression_samples,
+                deflate_config=self.system.deflate,
+                timing=self.system.deflate_timing,
+                ibm=self.system.ibm_timing,
+                seed=1,
+            )
+        return self._models[name]
+
+    def run(self, name: str, controller: str,
+            dram_budget_bytes: Optional[int] = None,
+            huge_pages: bool = False) -> SimResult:
+        key = (name, controller, dram_budget_bytes, huge_pages)
+        if key not in self._runs:
+            self._runs[key] = run_workload(
+                self.workload(name), controller, self.system,
+                dram_budget_bytes=dram_budget_bytes,
+                huge_pages=huge_pages, model=self.model(name),
+            )
+        return self._runs[key]
+
+    def iso(self, name: str) -> IsoCapacityResult:
+        if name not in self._iso:
+            compresso = self.run(name, "compresso")
+            tmcc = self.run(name, "tmcc",
+                            dram_budget_bytes=compresso.dram_used_bytes)
+            self._iso[name] = IsoCapacityResult(name, compresso, tmcc)
+        return self._iso[name]
+
+    def iso_perf(self, name: str) -> IsoPerformanceResult:
+        if name not in self._iso_perf:
+            self._iso_perf[name] = iso_performance_capacity(
+                self.workload(name), self.system, search_steps=6,
+            )
+        return self._iso_perf[name]
+
+    def split(self, name: str, budget_bytes: int) -> SplitResult:
+        key = (name, budget_bytes)
+        if key not in self._splits:
+            self._splits[key] = osinspired_split(
+                self.workload(name), budget_bytes, self.system,
+            )
+        return self._splits[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> RunCache:
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def workload_names():
+    return bench_workload_names()
+
+
+#: All reproduced tables are also mirrored here, so running the harness
+#: without ``-s`` (pytest capturing stdout) still records every figure.
+TABLES_PATH = Path(__file__).resolve().parent.parent / "bench_tables.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_tables_file():
+    TABLES_PATH.write_text("")
+    yield
+
+
+def print_table(title: str, header, rows) -> None:
+    """Render one reproduced table/figure as aligned text."""
+    from repro.reporting import render_table
+
+    text = f"\n=== {title} ===\n{render_table(header, rows)}\n"
+    print(text, end="")
+    with TABLES_PATH.open("a") as f:
+        f.write(text)

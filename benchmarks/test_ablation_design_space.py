@@ -1,0 +1,121 @@
+"""Section V-B design-space ablations for the memory-specialized Deflate.
+
+Paper's anchors:
+- 1 KB CAM loses only ~1.6% compression ratio vs 4 KB while using 1/4 the
+  area; 256-512 B CAMs degrade much more.
+- The 16-code reduced tree costs ~1% ratio vs a full tree on non-zero
+  pages.
+- Dynamic Huffman skipping recovers ~5% geomean ratio.
+"""
+
+from conftest import print_table
+
+from repro.common.stats import geomean
+from repro.common.units import KIB, PAGE_SIZE
+from repro.compression.deflate import AsicAreaModel, DeflateCodec, DeflateConfig
+from repro.compression.huffman import ReducedTreeConfig
+from repro.compression.lz import LZConfig
+from repro.workloads.dumps import dump_pages
+
+
+def corpus():
+    pages = []
+    for bench in ("pageRank", "mcf", "omnetpp", "dacapo-h2"):
+        pages += dump_pages(bench, num_pages=8)
+    return pages
+
+
+def ratio_of(codec, pages):
+    return geomean([PAGE_SIZE / codec.compressed_size(p) for p in pages])
+
+
+def test_cam_size_ablation(benchmark):
+    def compute():
+        pages = corpus()
+        area = AsicAreaModel()
+        rows = []
+        ratios = {}
+        for cam in (256, 512, 1 * KIB, 4 * KIB):
+            codec = DeflateCodec(DeflateConfig(lz=LZConfig(window_size=cam)))
+            ratios[cam] = ratio_of(codec, pages)
+            rows.append((f"{cam} B", f"{ratios[cam]:.2f}",
+                         f"{area.total_area_mm2(cam_size=cam):.3f} mm2"))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: LZ CAM size vs ratio vs area",
+                ("CAM", "geomean ratio", "total area"), rows)
+    # The paper's knee: 1 KB within ~2-5% of 4 KB; 256 B visibly worse.
+    assert ratios[1 * KIB] > 0.93 * ratios[4 * KIB]
+    assert ratios[256] < ratios[1 * KIB]
+
+
+def test_reduced_tree_size_ablation(benchmark):
+    def compute():
+        pages = corpus()
+        rows = []
+        ratios = {}
+        for leaves in (4, 8, 16, 32):
+            codec = DeflateCodec(DeflateConfig(
+                huffman=ReducedTreeConfig(tree_size=leaves, depth_threshold=8)
+            ))
+            ratios[leaves] = ratio_of(codec, pages)
+            rows.append((leaves, f"{ratios[leaves]:.2f}"))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: reduced-tree leaves vs ratio",
+                ("leaves", "geomean ratio"), rows)
+    # 16 leaves captures nearly all of the benefit (paper: ~1% loss).
+    assert ratios[16] > 0.95 * ratios[32]
+    assert ratios[16] >= ratios[4]
+
+
+def test_dynamic_huffman_skip_ablation(benchmark):
+    def compute():
+        pages = corpus()
+        with_skip = DeflateCodec(DeflateConfig(dynamic_huffman_skip=True))
+        without = DeflateCodec(DeflateConfig(dynamic_huffman_skip=False))
+        return ratio_of(with_skip, pages), ratio_of(without, pages)
+
+    skip_ratio, no_skip_ratio = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: dynamic Huffman skip",
+                ("config", "geomean ratio"),
+                [("skip on", f"{skip_ratio:.2f}"),
+                 ("skip off", f"{no_skip_ratio:.2f}")])
+    assert skip_ratio >= no_skip_ratio  # never hurts (paper: +5%)
+
+
+def test_recency_sampling_ablation(benchmark):
+    """Sampling 1% of accesses tracks recency almost as well as always
+    updating -- the design choice that keeps the list's bandwidth free."""
+    from repro.common.rng import DeterministicRNG
+    from repro.mc.recency import RecencyList
+
+    def compute():
+        results = {}
+        for probability in (0.01, 1.0):
+            recency = RecencyList(DeterministicRNG(7),
+                                  sample_probability=probability)
+            rng = DeterministicRNG(8)
+            for ppn in range(512):
+                recency.push_hot(ppn)
+            # Skewed accesses: hot pages are touched constantly.
+            for _ in range(200_000):
+                recency.on_access(rng.zipf_index(512))
+            # Evict half; count how many evictions were genuinely cold
+            # (top half of the Zipf ordering = hot).
+            cold_hits = 0
+            for _ in range(256):
+                victim = recency.evict_coldest()
+                if victim is not None and victim >= 256:
+                    cold_hits += 1
+            results[probability] = cold_hits / 256
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: recency-list sampling probability",
+                ("sampling", "cold-victim accuracy"),
+                [(f"{p:.0%}", f"{results[p]:.1%}") for p in sorted(results)])
+    # 1% sampling achieves most of full tracking's victim quality.
+    assert results[0.01] > 0.6 * results[1.0]

@@ -1,0 +1,36 @@
+"""Figure 16: memory-access characterization under no compression.
+
+Paper: read/write bandwidth utilization per workload; canneal and
+shortestPath are the most memory-intensive, kcore/triCount the least.
+"""
+
+from conftest import print_table
+
+
+def test_fig16_memory_characterization(benchmark, cache, workload_names):
+    def compute():
+        rows = []
+        data = {}
+        for name in workload_names:
+            result = cache.run(name, "uncompressed")
+            total = max(1, result.dram_reads + result.dram_writes)
+            data[name] = result.bandwidth_utilization
+            rows.append((
+                name,
+                f"{result.bandwidth_utilization:.1%}",
+                f"{result.dram_reads / total:.1%}",
+                f"{result.dram_writes / total:.1%}",
+                f"{result.l3_misses / max(1, result.accesses):.2f}",
+            ))
+        return rows, data
+
+    rows, data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Figure 16: memory characterization (no compression)",
+        ("workload", "bandwidth util", "reads", "writes", "LLC misses/access"),
+        rows,
+    )
+    # Intensity ordering: canneal tops kcore (paper's extremes).
+    if "canneal" in data and "kcore" in data:
+        assert data["canneal"] > data["kcore"]
+    assert all(0.0 <= u <= 1.0 for u in data.values())

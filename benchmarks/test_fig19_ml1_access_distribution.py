@@ -1,0 +1,67 @@
+"""Figure 19: distribution of ML1 read accesses under TMCC.
+
+Paper: 76% hit the CTE cache; 22% are parallel speculative accesses with a
+correct embedded CTE; the remainder split between incorrect embedded CTEs
+and serialized accesses with no embedded CTE.  Consequently TMCC's DRAM
+access rate for CTEs is ~24% vs Compresso's 34%.
+"""
+
+from conftest import print_table
+
+from repro.common.stats import mean
+
+
+def test_fig19_ml1_access_distribution(benchmark, cache, workload_names):
+    def compute():
+        rows = []
+        sums = {"cte_hit": [], "parallel_ok": [], "parallel_mismatch": [],
+                "serial_no_cte": []}
+        for name in workload_names:
+            fractions = cache.iso(name).tmcc.path_fractions
+            ml1_total = sum(fractions[k] for k in sums) or 1.0
+            shares = {k: fractions[k] / ml1_total for k in sums}
+            for key in sums:
+                sums[key].append(shares[key])
+            rows.append((name, *(f"{shares[k]:.1%}" for k in sums)))
+        return rows, sums
+
+    rows, sums = benchmark.pedantic(compute, rounds=1, iterations=1)
+    averages = {k: mean(v) for k, v in sums.items()}
+    rows.append(("average", *(f"{averages[k]:.1%}" for k in sums)))
+    print_table(
+        "Figure 19: ML1 read access distribution (TMCC)",
+        ("workload", "CTE$ hit", "parallel (correct)",
+         "incorrect embedded", "serialized no-CTE"),
+        rows,
+    )
+    # Paper's shape: CTE hits dominate (76%), the parallel path serves
+    # most CTE misses (22%), mismatches and no-CTE cases are small.
+    assert averages["cte_hit"] > 0.5
+    assert averages["parallel_ok"] > 0.05
+    assert averages["parallel_ok"] > 3 * (averages["parallel_mismatch"]
+                                          + averages["serial_no_cte"])
+
+
+def test_tmcc_fetches_fewer_ctes_from_dram(benchmark, cache, workload_names):
+    """Table IV's side claim: TMCC's DRAM access rate for CTEs (its CTE
+    miss rate, ~24%) is well below Compresso's (~34%), because page-level
+    CTEs cache better and verified CTEs are cached too."""
+    def compute():
+        rows = []
+        tmcc_rates, compresso_rates = [], []
+        for name in workload_names:
+            iso = cache.iso(name)
+            tmcc_rate = 1 - iso.tmcc.cte_hit_rate
+            compresso_rate = 1 - iso.compresso.cte_hit_rate
+            tmcc_rates.append(tmcc_rate)
+            compresso_rates.append(compresso_rate)
+            rows.append((name, f"{compresso_rate:.1%}", f"{tmcc_rate:.1%}"))
+        return rows, tmcc_rates, compresso_rates
+
+    rows, tmcc_rates, compresso_rates = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    rows.append(("average",
+                 f"{mean(compresso_rates):.1%}", f"{mean(tmcc_rates):.1%}"))
+    print_table("CTE fetches from DRAM per LLC miss (Table IV discussion)",
+                ("workload", "Compresso", "TMCC"), rows)
+    assert mean(tmcc_rates) < mean(compresso_rates) * 0.6

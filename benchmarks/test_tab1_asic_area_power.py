@@ -1,0 +1,36 @@
+"""Table I: synthesis results for the memory-specialized ASIC Deflate.
+
+Paper (7 nm ASAP, 0.7 V, 2.5 GHz): LZ decompressor 0.022 mm2 / 100 mW,
+LZ compressor 0.060 mm2 / 160 mW, Huffman decompressor 0.014 mm2 / 27 mW,
+Huffman compressor 0.034 mm2 / 160 mW; complete unit 0.13 mm2 / 447 mW.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.common.units import KIB
+from repro.compression.deflate import AsicAreaModel
+
+
+def test_tab1_area_and_power(benchmark):
+    def compute():
+        model = AsicAreaModel()
+        areas = model.module_areas_mm2(cam_size=KIB, tree_size=16)
+        powers = model.module_powers_mw(cam_size=KIB, tree_size=16)
+        rows = [
+            (module, f"{areas[module]:.3f} mm2", f"{powers[module]:.0f} mW")
+            for module in areas
+        ]
+        rows.append(("complete unit",
+                     f"{model.total_area_mm2():.2f} mm2",
+                     f"{model.total_power_mw():.0f} mW"))
+        return rows, model
+
+    (rows, model) = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Table I: ASIC Deflate synthesis (7nm, 1KB CAM, 16-leaf tree)",
+                ("module", "area", "power"), rows)
+    assert model.total_area_mm2() == pytest.approx(0.13, abs=0.01)
+    assert model.total_power_mw() == pytest.approx(447, abs=1)
+    # The Section V-B2 design-space anchor: a 4 KB CAM quadruples LZ area.
+    assert model.module_areas_mm2(cam_size=4 * KIB)["lz_compressor"] == \
+        pytest.approx(0.24, abs=0.01)

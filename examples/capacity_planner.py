@@ -1,0 +1,56 @@
+"""Capacity planner: the performance/capacity trade-off under TMCC.
+
+Sweeps TMCC's DRAM budget from Compresso's usage down toward the fully
+compressed floor for one workload, printing the performance retained and
+the effective capacity gained at each point -- the trade Table IV and
+Figure 21 characterize.  The last line finds the iso-performance point
+automatically.
+
+Usage:  python examples/capacity_planner.py [workload]
+        (default workload: mcf; any of the 12 paper workloads works)
+"""
+
+import sys
+
+from repro.sim.experiments import (
+    iso_performance_capacity,
+    run_workload,
+)
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    if name not in PAPER_WORKLOAD_NAMES:
+        raise SystemExit(f"pick one of {PAPER_WORKLOAD_NAMES}")
+    workload = workload_by_name(name, max_accesses=50_000, scale=0.5)
+    print(f"workload: {name} "
+          f"({workload.footprint_pages * 4 // 1024} MiB footprint)")
+
+    compresso = run_workload(workload, "compresso")
+    print(f"Compresso: {compresso.dram_used_bytes / 2**20:.1f} MB used, "
+          f"ratio {compresso.compression_ratio:.2f}x, "
+          f"perf {compresso.performance:.1f}/us\n")
+
+    print(f"{'TMCC budget':>12s} {'perf vs Compresso':>18s} "
+          f"{'capacity':>9s} {'ML2 rate':>9s}")
+    for fraction in (1.0, 0.85, 0.7, 0.55, 0.4):
+        budget = int(compresso.dram_used_bytes * fraction)
+        try:
+            result = run_workload(workload, "tmcc", dram_budget_bytes=budget)
+        except ValueError:
+            print(f"{budget / 2**20:9.1f} MB  (below the compressible floor)")
+            continue
+        print(f"{budget / 2**20:9.1f} MB "
+              f"{result.performance / compresso.performance:17.2%} "
+              f"{result.compression_ratio:8.2f}x "
+              f"{result.ml2_access_rate:8.2%}")
+
+    iso = iso_performance_capacity(workload, search_steps=4)
+    print(f"\niso-performance point: {iso.tmcc.dram_used_bytes / 2**20:.1f} MB "
+          f"-> {iso.normalized_ratio:.2f}x Compresso's compression ratio "
+          f"at >= 99% of its performance (paper average: 2.2x)")
+
+
+if __name__ == "__main__":
+    main()

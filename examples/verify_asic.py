@@ -1,0 +1,52 @@
+"""Functional verification of the ASIC Deflate (the artifact's RTL check).
+
+The paper's artifact runs Verilator RTL simulations and checks that every
+non-zero 4 KB page in its memory dumps is bit-identical after compression
+and decompression ("failed (pages) should read 0").  This is the same
+check against our implementation, over every dump benchmark and every
+hardware configuration the HDL exposes.
+
+Usage:  python examples/verify_asic.py [pages-per-benchmark]
+"""
+
+import sys
+
+from repro.common.units import KIB
+from repro.compression.deflate import DeflateCodec, DeflateConfig
+from repro.compression.huffman import ReducedTreeConfig
+from repro.compression.lz import LZConfig
+from repro.workloads.dumps import DUMP_BENCHMARKS, dump_pages
+
+CONFIGS = {
+    "default (1KB CAM, 16 leaves, skip)": DeflateConfig(),
+    "256B CAM": DeflateConfig(lz=LZConfig(window_size=256)),
+    "4KB CAM": DeflateConfig(lz=LZConfig(window_size=4 * KIB)),
+    "8-leaf tree": DeflateConfig(huffman=ReducedTreeConfig(tree_size=8)),
+    "no skip": DeflateConfig(dynamic_huffman_skip=False),
+    "1.1 Pass": DeflateConfig(
+        huffman=ReducedTreeConfig(frequency_sample_fraction=0.125)),
+}
+
+
+def main() -> int:
+    pages_per_benchmark = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    total = 0
+    failed = 0
+    for config_name, config in CONFIGS.items():
+        codec = DeflateCodec(config)
+        config_failed = 0
+        for benchmark in DUMP_BENCHMARKS:
+            for page in dump_pages(benchmark, num_pages=pages_per_benchmark):
+                total += 1
+                if codec.decompress(codec.compress(page)) != page:
+                    config_failed += 1
+        failed += config_failed
+        print(f"{config_name:36s} failed (pages): {config_failed}")
+    print(f"\nverified {total} pages across {len(CONFIGS)} configurations; "
+          f"failed (pages): {failed}")
+    print("BUILD SUCCESSFUL" if failed == 0 else "BUILD FAILED")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""repro — a reproduction of TMCC (MICRO 2022).
+
+Translation-optimized Memory Compression for Capacity, rebuilt as a
+Python library: the memory-specialized ASIC Deflate, compressed
+page-table blocks with embedded compression-translation entries, the
+two-level (ML1/ML2) OS-inspired memory organization, the Compresso
+baseline, and the trace-driven memory-subsystem simulator that
+regenerates every table and figure of the paper's evaluation.
+
+Quick tour::
+
+    from repro.compression.deflate import DeflateCodec
+    from repro.sim.experiments import iso_capacity_comparison
+    from repro.workloads.suite import workload_by_name
+
+    codec = DeflateCodec()                     # bit-exact page codec
+    iso = iso_capacity_comparison(workload_by_name("shortestPath"))
+    print(iso.speedup)                         # TMCC vs Compresso
+
+See README.md for the architecture map, DESIGN.md for the
+paper-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,208 @@
+"""The three-level cache hierarchy of Table III.
+
+Structure: 64 KB L1 (data+instruction modeled as one), 256 KB inclusive L2,
+8 MB exclusive L3, with L1/L2 next-line + stride prefetchers.  Latencies
+are Table III's: L1 3 cycles, L2 +11, L3 +50.
+
+The hierarchy serves *block* requests and reports whether DRAM must be
+involved (``l3_miss``); the memory controller owns everything below.  Dirty
+L3 victims surface as ``dram_writebacks`` so the controller can model write
+traffic and compressed-page bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.cache.sa_cache import CacheLine, SetAssociativeCache
+from repro.common.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes/latencies per Table III."""
+
+    l1_size: int = 64 * KIB
+    l1_assoc: int = 8
+    l2_size: int = 256 * KIB
+    l2_assoc: int = 8
+    l3_size: int = 8 * MIB
+    l3_assoc: int = 16
+    l1_latency: int = 3
+    l2_latency: int = 11  # additional cycles
+    l3_latency: int = 50  # additional cycles
+    enable_prefetch: bool = True
+    l1_stride_degree: int = 2
+    l2_stride_degree: int = 4
+
+
+@dataclass
+class AccessResult:
+    """What one block access did."""
+
+    hit_level: str  # "l1" | "l2" | "l3" | "memory"
+    latency_cycles: int
+    l3_miss: bool
+    dram_writebacks: List[int] = field(default_factory=list)
+    served_compressed: bool = False
+
+    @property
+    def hit(self) -> bool:
+        return self.hit_level != "memory"
+
+
+class CacheHierarchy:
+    """L1 + inclusive L2 + exclusive L3 with prefetch.
+
+    ``shared_l3`` lets several per-core hierarchies sit in front of one
+    LLC, the Table III multi-core organization (private L1/L2 per core,
+    one shared exclusive L3).
+    """
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig(),
+                 shared_l3: Optional[SetAssociativeCache] = None) -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1_size, config.l1_assoc, "l1")
+        self.l2 = SetAssociativeCache(config.l2_size, config.l2_assoc, "l2")
+        self.l3 = shared_l3 if shared_l3 is not None else SetAssociativeCache(
+            config.l3_size, config.l3_assoc, "l3")
+        self._next_line = NextLinePrefetcher()
+        self._stride_l1 = StridePrefetcher(degree=config.l1_stride_degree)
+        self._stride_l2 = StridePrefetcher(degree=config.l2_stride_degree)
+
+    # ------------------------------------------------------------------
+    # Main access path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False,
+               is_ptb: bool = False) -> AccessResult:
+        """Serve one demand access; returns where it hit and at what cost."""
+        block = address >> 6
+        config = self.config
+        writebacks: List[int] = []
+
+        if config.enable_prefetch:
+            self._next_line.train_demand(block)
+
+        line = self.l1.lookup(block, is_write)
+        if line is not None:
+            return AccessResult("l1", config.l1_latency, l3_miss=False,
+                                served_compressed=line.compressed)
+
+        latency = config.l1_latency + config.l2_latency
+        if config.enable_prefetch:
+            self._issue_prefetches(self._prefetch_candidates_l1(block), writebacks)
+
+        line = self.l2.lookup(block)
+        if line is not None:
+            self._fill_l1(block, is_write, line.compressed, line.is_ptb, writebacks)
+            return AccessResult("l2", latency, l3_miss=False,
+                                dram_writebacks=writebacks,
+                                served_compressed=line.compressed)
+
+        latency += config.l3_latency
+        if config.enable_prefetch:
+            self._issue_prefetches(self._stride_l2.on_access(block), writebacks)
+
+        line = self.l3.lookup(block)
+        if line is not None:
+            # Exclusive L3: the block moves up to L2/L1.
+            moved = self.l3.invalidate(block)
+            self._fill_l2(block, moved.dirty if moved else False,
+                          moved.compressed if moved else False,
+                          moved.is_ptb if moved else is_ptb, writebacks)
+            self._fill_l1(block, is_write,
+                          moved.compressed if moved else False,
+                          moved.is_ptb if moved else is_ptb, writebacks)
+            return AccessResult("l3", latency, l3_miss=False,
+                                dram_writebacks=writebacks,
+                                served_compressed=moved.compressed if moved else False)
+
+        # Memory: caller adds DRAM latency; we complete the fills now.
+        self._fill_l2(block, dirty=False, compressed=False, is_ptb=is_ptb,
+                      writebacks=writebacks)
+        self._fill_l1(block, is_write, compressed=False, is_ptb=is_ptb,
+                      writebacks=writebacks)
+        return AccessResult("memory", latency, l3_miss=True,
+                            dram_writebacks=writebacks)
+
+    # ------------------------------------------------------------------
+    # Fill helpers (inclusive L2, exclusive L3)
+    # ------------------------------------------------------------------
+
+    def _fill_l1(self, block: int, is_write: bool, compressed: bool,
+                 is_ptb: bool, writebacks: List[int]) -> None:
+        victim = self.l1.fill(block, dirty=is_write, compressed=compressed,
+                              is_ptb=is_ptb)
+        if victim is not None and victim.dirty:
+            # Inclusive L2 holds the line; merge the dirty data down.
+            l2_line = self.l2.peek(victim.block)
+            if l2_line is not None:
+                l2_line.dirty = True
+            else:
+                # L2 already evicted it (rare ordering); send to L3.
+                self._victim_to_l3(victim, writebacks)
+
+    def _fill_l2(self, block: int, dirty: bool, compressed: bool,
+                 is_ptb: bool, writebacks: List[int]) -> None:
+        victim = self.l2.fill(block, dirty=dirty, compressed=compressed,
+                              is_ptb=is_ptb)
+        if victim is not None:
+            # Inclusive: purge the L1 copy; its dirtiness rides along.
+            l1_copy = self.l1.invalidate(victim.block)
+            if l1_copy is not None and l1_copy.dirty:
+                victim.dirty = True
+            self._victim_to_l3(victim, writebacks)
+
+    def _victim_to_l3(self, victim: CacheLine, writebacks: List[int]) -> None:
+        l3_victim = self.l3.fill(victim.block, dirty=victim.dirty,
+                                 compressed=victim.compressed,
+                                 is_ptb=victim.is_ptb)
+        if l3_victim is not None and l3_victim.dirty:
+            writebacks.append(l3_victim.block)
+
+    # ------------------------------------------------------------------
+    # Prefetch
+    # ------------------------------------------------------------------
+
+    def _prefetch_candidates_l1(self, block: int) -> List[int]:
+        candidates = self._next_line.on_miss(block)
+        candidates += self._stride_l1.on_access(block)
+        return candidates
+
+    def _issue_prefetches(self, blocks: List[int], writebacks: List[int]) -> None:
+        """Install prefetched blocks into L2 (no latency is charged)."""
+        for block in blocks:
+            if self.l1.contains(block) or self.l2.contains(block):
+                continue
+            if self.l3.contains(block):
+                moved = self.l3.invalidate(block)
+                self._fill_l2(block, moved.dirty, moved.compressed,
+                              moved.is_ptb, writebacks)
+            else:
+                self._fill_l2(block, dirty=False, compressed=False,
+                              is_ptb=False, writebacks=writebacks)
+
+    # ------------------------------------------------------------------
+    # Introspection for the compression controllers
+    # ------------------------------------------------------------------
+
+    def resident_line(self, address: int) -> Optional[CacheLine]:
+        """The L1/L2/L3 line holding ``address``, if any (no side effects)."""
+        block = address >> 6
+        return self.l1.peek(block) or self.l2.peek(block) or self.l3.peek(block)
+
+    def mark_compressed(self, address: int, compressed: bool = True) -> None:
+        """Set the compressed-PTB data bit on whichever copies exist."""
+        block = address >> 6
+        for cache in (self.l1, self.l2, self.l3):
+            line = cache.peek(block)
+            if line is not None:
+                line.compressed = compressed
+
+    def invalidate_everywhere(self, address: int) -> None:
+        block = address >> 6
+        for cache in (self.l1, self.l2, self.l3):
+            cache.invalidate(block)

@@ -1,0 +1,102 @@
+"""Prefetchers of the simulated system (Table III).
+
+Two flavors feed the L1/L2 caches: a next-line prefetcher with automatic
+turn-off (it disables itself when its recent prefetches go unused) and a
+stride prefetcher (degree 2 at L1, 4 at L2 in the paper's setup).
+
+Prefetchers only decide *which* blocks to bring in; the hierarchy performs
+the fills.  They see the miss stream, which is how hardware prefetchers are
+trained in practice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class NextLinePrefetcher:
+    """Prefetch block+1 on a miss, with automatic turn-off.
+
+    Usefulness is tracked over a sliding window of issued prefetches; when
+    fewer than ``min_accuracy`` of the last ``window`` prefetched blocks
+    were demanded, the prefetcher turns itself off (and re-evaluates after
+    another window of misses).
+    """
+
+    def __init__(self, window: int = 64, min_accuracy: float = 0.25) -> None:
+        self.window = window
+        self.min_accuracy = min_accuracy
+        self._outstanding: "OrderedDict[int, bool]" = OrderedDict()
+        self._recent_results: List[bool] = []
+        self._enabled = True
+        self._cooloff = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def train_demand(self, block: int) -> None:
+        """A demand access; credits the prefetch that predicted it."""
+        if block in self._outstanding:
+            self._outstanding[block] = True
+
+    def on_miss(self, block: int) -> List[int]:
+        """Return blocks to prefetch for a demand miss at ``block``."""
+        self._retire_oldest_if_full()
+        if not self._enabled:
+            self._cooloff += 1
+            if self._cooloff >= self.window:
+                self._enabled = True
+                self._cooloff = 0
+                self._recent_results.clear()
+            return []
+        target = block + 1
+        self._outstanding[target] = False
+        return [target]
+
+    def _retire_oldest_if_full(self) -> None:
+        while len(self._outstanding) > self.window:
+            _, used = self._outstanding.popitem(last=False)
+            self._recent_results.append(used)
+            if len(self._recent_results) >= self.window:
+                accuracy = sum(self._recent_results) / len(self._recent_results)
+                if accuracy < self.min_accuracy:
+                    self._enabled = False
+                self._recent_results.clear()
+
+
+class StridePrefetcher:
+    """Region-based stride detection with configurable degree.
+
+    Tracks the last address and stride per 4 KB region; after two
+    consecutive accesses with the same stride it prefetches ``degree``
+    blocks ahead along that stride.
+    """
+
+    def __init__(self, degree: int = 2, table_entries: int = 64) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.table_entries = table_entries
+        #: region -> (last block, stride, confirmed)
+        self._table: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def on_access(self, block: int) -> List[int]:
+        """Observe a demand access; return blocks to prefetch."""
+        region = block >> 6  # 64 blocks = 4 KB region
+        entry = self._table.pop(region, None)
+        prefetches: List[int] = []
+        if entry is None:
+            self._table[region] = (block, 0, False)
+        else:
+            last, stride, confirmed = entry
+            new_stride = block - last
+            if new_stride != 0 and new_stride == stride:
+                prefetches = [block + new_stride * (i + 1) for i in range(self.degree)]
+                self._table[region] = (block, new_stride, True)
+            else:
+                self._table[region] = (block, new_stride, False)
+        while len(self._table) > self.table_entries:
+            self._table.popitem(last=False)
+        return [p for p in prefetches if p >= 0]

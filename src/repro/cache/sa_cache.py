@@ -1,0 +1,110 @@
+"""A set-associative, write-back, LRU cache.
+
+Lines carry two metadata bits beyond dirty: ``compressed`` (the new data
+bit TMCC adds to every L2/L3 line to mark compressed-PTB encoding,
+Section V-A4) and ``is_ptb`` (whether the line was brought in by the page
+walker -- hardware knows this from the requester ID).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.stats import RatioStat
+from repro.common.units import BLOCK_SIZE
+
+
+@dataclass
+class CacheLine:
+    """Metadata of one resident block."""
+
+    block: int  # block number (address >> 6)
+    dirty: bool = False
+    compressed: bool = False
+    is_ptb: bool = False
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64 B blocks."""
+
+    def __init__(self, size_bytes: int, associativity: int, name: str = "cache") -> None:
+        if size_bytes % (BLOCK_SIZE * associativity):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"{BLOCK_SIZE} x associativity {associativity}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (BLOCK_SIZE * associativity)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = RatioStat(name)
+
+    def _set_of(self, block: int) -> "OrderedDict[int, CacheLine]":
+        return self._sets[block & (self.num_sets - 1)]
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: int, is_write: bool = False) -> Optional[CacheLine]:
+        """Probe; on hit, updates recency (and dirty for writes)."""
+        entries = self._set_of(block)
+        line = entries.get(block)
+        self.stats.record(line is not None)
+        if line is not None:
+            entries.move_to_end(block)
+            if is_write:
+                line.dirty = True
+        return line
+
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """Probe without side effects (no stats, no recency update)."""
+        return self._set_of(block).get(block)
+
+    def contains(self, block: int) -> bool:
+        return block in self._set_of(block)
+
+    # ------------------------------------------------------------------
+    # Fills and evictions
+    # ------------------------------------------------------------------
+
+    def fill(self, block: int, dirty: bool = False, compressed: bool = False,
+             is_ptb: bool = False) -> Optional[CacheLine]:
+        """Insert a block; returns the evicted line, if any."""
+        entries = self._set_of(block)
+        if block in entries:
+            line = entries[block]
+            entries.move_to_end(block)
+            line.dirty = line.dirty or dirty
+            line.compressed = compressed
+            line.is_ptb = line.is_ptb or is_ptb
+            return None
+        victim: Optional[CacheLine] = None
+        if len(entries) >= self.associativity:
+            _, victim = entries.popitem(last=False)
+        entries[block] = CacheLine(block, dirty=dirty, compressed=compressed,
+                                   is_ptb=is_ptb)
+        return victim
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Remove a block (used for inclusive/exclusive maintenance)."""
+        return self._set_of(block).pop(block, None)
+
+    def flush(self) -> List[CacheLine]:
+        """Drop everything; returns the dirty lines that would write back."""
+        dirty: List[CacheLine] = []
+        for entries in self._sets:
+            dirty.extend(line for line in entries.values() if line.dirty)
+            entries.clear()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

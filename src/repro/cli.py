@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points:
+
+- ``workloads`` -- list the paper's workloads and their footprints.
+- ``deflate``   -- compress synthetic pages of one content profile and
+  report size/latency under our ASIC vs block-level vs IBM's ASIC.
+- ``compare``   -- the headline experiment: TMCC vs Compresso at equal
+  DRAM usage for one workload.
+- ``sweep``     -- TMCC's performance/capacity trade-off curve.
+
+Examples::
+
+    python -m repro.cli workloads
+    python -m repro.cli deflate graph
+    python -m repro.cli compare canneal --accesses 40000 --scale 0.4
+    python -m repro.cli sweep mcf --points 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.units import PAGE_SIZE
+from repro.compression.block import SelectiveBlockCompressor
+from repro.compression.deflate import (
+    DeflateCodec,
+    DeflateTimingModel,
+    IBMDeflateModel,
+)
+from repro.sim.experiments import iso_capacity_comparison, run_workload
+from repro.workloads.content import CONTENT_PROFILES, ContentSynthesizer
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    print(f"{'workload':14s} {'kind':22s}")
+    kinds = {
+        "mcf": "SPEC-like pointer chase",
+        "omnetpp": "SPEC-like event queue",
+        "canneal": "PARSEC-like annealing",
+    }
+    for name in PAPER_WORKLOAD_NAMES:
+        print(f"{name:14s} {kinds.get(name, 'GraphBIG-like kernel'):22s}")
+    return 0
+
+
+def _cmd_deflate(args: argparse.Namespace) -> int:
+    if args.profile not in CONTENT_PROFILES:
+        print(f"unknown profile {args.profile!r}; "
+              f"choose from {sorted(CONTENT_PROFILES)}", file=sys.stderr)
+        return 2
+    synthesizer = ContentSynthesizer(args.profile, seed=args.seed)
+    codec = DeflateCodec()
+    blocks = SelectiveBlockCompressor()
+    timing = DeflateTimingModel()
+    ibm = IBMDeflateModel()
+    pages = [synthesizer.page(v) for v in range(args.pages)]
+    original = len(pages) * PAGE_SIZE
+    compressed = [codec.compress(p) for p in pages]
+    for c, p in zip(compressed, pages):
+        if codec.decompress(c) != p:
+            print("round-trip FAILED", file=sys.stderr)
+            return 1
+    deflate_bytes = sum(c.size_bytes for c in compressed)
+    block_bytes = sum(blocks.compressed_page_size(p) for p in pages)
+    half = sum(timing.decompress_latency_ns(c, PAGE_SIZE // 2)
+               for c in compressed) / len(compressed)
+    print(f"profile {args.profile}: {args.pages} pages, round-trip OK")
+    print(f"our ASIC Deflate: {original / deflate_bytes:5.2f}x, "
+          f"half-page latency {half:.0f} ns")
+    print(f"block-level:      {original / block_bytes:5.2f}x")
+    print(f"IBM ASIC half-page latency: "
+          f"{ibm.decompress_latency_ns(PAGE_SIZE, PAGE_SIZE // 2):.0f} ns")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload, max_accesses=args.accesses,
+                                scale=args.scale)
+    uncompressed = run_workload(workload, "uncompressed")
+    iso = iso_capacity_comparison(workload)
+    print(f"{args.workload}: footprint "
+          f"{workload.footprint_pages * 4 // 1024} MiB, "
+          f"{workload.access_count} accesses")
+    print(f"{'system':14s} {'L3 miss lat':>12s} {'perf':>10s} {'capacity':>9s}")
+    for label, result in (("no compress", uncompressed),
+                          ("Compresso", iso.compresso),
+                          ("TMCC", iso.tmcc)):
+        print(f"{label:14s} {result.avg_l3_miss_latency_ns:9.1f} ns "
+              f"{result.performance:7.1f}/us {result.compression_ratio:8.2f}x")
+    print(f"TMCC speedup at iso-capacity: {iso.speedup:.3f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload, max_accesses=args.accesses,
+                                scale=args.scale)
+    compresso = run_workload(workload, "compresso")
+    print(f"Compresso: {compresso.dram_used_bytes / 2**20:.1f} MB, "
+          f"perf {compresso.performance:.1f}/us")
+    print(f"{'budget':>10s} {'perf vs Compresso':>18s} {'capacity':>9s}")
+    for step in range(args.points):
+        fraction = 1.0 - step * (0.6 / max(1, args.points - 1))
+        budget = int(compresso.dram_used_bytes * fraction)
+        try:
+            result = run_workload(workload, "tmcc", dram_budget_bytes=budget)
+        except ValueError:
+            print(f"{budget / 2**20:7.1f} MB  (below compressible floor)")
+            continue
+        print(f"{budget / 2**20:7.1f} MB "
+              f"{result.performance / compresso.performance:17.2%} "
+              f"{result.compression_ratio:8.2f}x")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.traceio import save_trace, workload_from_trace
+
+    if args.trace_command == "export":
+        workload = workload_by_name(args.workload, max_accesses=args.accesses,
+                                    scale=args.scale)
+        save_trace(workload.trace, args.path)
+        print(f"wrote {workload.access_count} accesses "
+              f"({workload.footprint_pages} footprint pages) to {args.path}")
+        return 0
+    # run
+    from repro.sim.simulator import CONTROLLERS, Simulator
+
+    if args.controller not in CONTROLLERS:
+        print(f"unknown controller {args.controller!r}; "
+              f"choose from {sorted(CONTROLLERS)}", file=sys.stderr)
+        return 2
+    workload = workload_from_trace(args.path)
+    result = Simulator(workload, controller=args.controller).run()
+    print(f"{workload.name}: {result.accesses} accesses, "
+          f"{result.l3_misses} LLC misses, "
+          f"avg miss latency {result.avg_l3_miss_latency_ns:.1f} ns, "
+          f"perf {result.performance:.1f}/us, "
+          f"capacity {result.compression_ratio:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TMCC (MICRO 2022) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the paper's workloads")
+
+    deflate = commands.add_parser("deflate", help="compress synthetic pages")
+    deflate.add_argument("profile", help="content profile (e.g. graph, mcf)")
+    deflate.add_argument("--pages", type=int, default=12)
+    deflate.add_argument("--seed", type=int, default=1)
+
+    for name, help_text in (("compare", "TMCC vs Compresso at iso-capacity"),
+                            ("sweep", "performance/capacity trade-off")):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("workload", choices=PAPER_WORKLOAD_NAMES)
+        sub.add_argument("--accesses", type=int, default=40_000)
+        sub.add_argument("--scale", type=float, default=0.4)
+        if name == "sweep":
+            sub.add_argument("--points", type=int, default=4)
+
+    trace = commands.add_parser(
+        "trace", help="export a workload trace / simulate a trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser("export", help="write a .rtrc trace file")
+    export.add_argument("workload", choices=PAPER_WORKLOAD_NAMES)
+    export.add_argument("path")
+    export.add_argument("--accesses", type=int, default=40_000)
+    export.add_argument("--scale", type=float, default=0.4)
+    run = trace_sub.add_parser("run", help="simulate a trace file")
+    run.add_argument("path")
+    run.add_argument("--controller", default="tmcc")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "workloads": _cmd_workloads,
+        "deflate": _cmd_deflate,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Shared utilities for the TMCC reproduction.
+
+This package hosts the low-level helpers every substrate builds on:
+
+- :mod:`repro.common.units` -- memory-size constants and address arithmetic.
+- :mod:`repro.common.bits` -- bit-field extraction and bitstream I/O.
+- :mod:`repro.common.stats` -- counters, histograms, and geometric means.
+- :mod:`repro.common.rng` -- deterministic random number generation.
+"""
+
+from repro.common.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    BLOCKS_PER_PAGE,
+    PTES_PER_PTB,
+    align_down,
+    align_up,
+    block_of,
+    is_aligned,
+    page_of,
+)
+from repro.common.bits import (
+    BitReader,
+    BitWriter,
+    bit_length_of_count,
+    extract_bits,
+    insert_bits,
+    mask,
+)
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    RatioStat,
+    StatGroup,
+    geomean,
+    mean,
+)
+from repro.common.rng import DeterministicRNG
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "BLOCK_SIZE",
+    "PAGE_SIZE",
+    "BLOCKS_PER_PAGE",
+    "PTES_PER_PTB",
+    "align_down",
+    "align_up",
+    "block_of",
+    "is_aligned",
+    "page_of",
+    "BitReader",
+    "BitWriter",
+    "bit_length_of_count",
+    "extract_bits",
+    "insert_bits",
+    "mask",
+    "Counter",
+    "Histogram",
+    "RatioStat",
+    "StatGroup",
+    "geomean",
+    "mean",
+    "DeterministicRNG",
+]

@@ -1,0 +1,162 @@
+"""Statistics primitives used across the simulator and benchmarks.
+
+The simulator reports everything the paper's figures need -- miss rates,
+latency averages, access-type breakdowns -- via these small containers so
+each component can expose a uniform ``stats()`` mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; 0.0 for an empty sequence.
+
+    The paper reports compression ratios and speedups as geometric means.
+    """
+    items = list(values)
+    if not items:
+        return 0.0
+    if any(v <= 0 for v in items):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class RatioStat:
+    """Tracks hits out of total lookups (TLB/cache/CTE hit rates)."""
+
+    name: str
+    hits: int = 0
+    total: int = 0
+
+    def record(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def misses(self) -> int:
+        return self.total - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.total = 0
+
+
+@dataclass
+class Histogram:
+    """Accumulates samples; reports count/sum/mean and percentiles."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile with ``fraction`` in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+class StatGroup:
+    """A flat bag of named statistics with a uniform dump format.
+
+    Components register counters/ratios/histograms once and callers render
+    them with :meth:`as_dict`, which the benchmark harness prints as the
+    rows of each reproduced table or figure.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._ratios: Dict[str, RatioStat] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def ratio(self, name: str) -> RatioStat:
+        if name not in self._ratios:
+            self._ratios[name] = RatioStat(name)
+        return self._ratios[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def reset(self) -> None:
+        for stat in (*self._counters.values(), *self._ratios.values(),
+                     *self._histograms.values()):
+            stat.reset()
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Flatten all statistics into ``{name: value}`` for reporting."""
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for ratio in self._ratios.values():
+            out[f"{ratio.name}.hits"] = ratio.hits
+            out[f"{ratio.name}.total"] = ratio.total
+            out[f"{ratio.name}.hit_rate"] = ratio.hit_rate
+        for histogram in self._histograms.values():
+            out[f"{histogram.name}.count"] = histogram.count
+            out[f"{histogram.name}.mean"] = histogram.mean
+        return out

@@ -1,0 +1,84 @@
+"""Memory-size constants and address arithmetic.
+
+The paper's memory hierarchy operates on two granularities everywhere:
+
+- 64 B *memory blocks* (cache lines, page-table blocks, CTE blocks), and
+- 4 KB *pages* (the unit of virtual translation and of TMCC's migration).
+
+All addresses in this codebase are plain integers (byte addresses unless a
+function name says otherwise).  Keeping them as ``int`` rather than wrapper
+classes keeps the hot simulator loops cheap.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Size of one memory block / cache line in bytes.
+BLOCK_SIZE = 64
+
+#: Size of one page in bytes (base pages; huge pages are handled separately).
+PAGE_SIZE = 4 * KIB
+
+#: Number of 64 B blocks in a 4 KB page.
+BLOCKS_PER_PAGE = PAGE_SIZE // BLOCK_SIZE
+
+#: Number of 8 B page-table entries in one 64 B page-table block.
+PTES_PER_PTB = 8
+
+#: Size of a page-table entry in bytes (x86-64).
+PTE_SIZE = 8
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(address: int, alignment: int) -> bool:
+    """Return ``True`` when ``address`` is a multiple of ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (address & (alignment - 1)) == 0
+
+
+def page_of(address: int) -> int:
+    """Return the page number containing byte ``address``."""
+    return address >> 12
+
+
+def block_of(address: int) -> int:
+    """Return the block number containing byte ``address``."""
+    return address >> 6
+
+
+def page_base(address: int) -> int:
+    """Return the byte address of the start of the page containing ``address``."""
+    return address & ~(PAGE_SIZE - 1)
+
+
+def block_base(address: int) -> int:
+    """Return the byte address of the start of the block containing ``address``."""
+    return address & ~(BLOCK_SIZE - 1)
+
+
+def block_index_in_page(address: int) -> int:
+    """Return which of the 64 blocks of its page ``address`` falls in."""
+    return (address & (PAGE_SIZE - 1)) >> 6

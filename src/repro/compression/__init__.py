@@ -1,0 +1,67 @@
+"""Compression substrate.
+
+Two families of compressors back the paper's two memory levels:
+
+- :mod:`repro.compression.block` -- 64 B block-level algorithms (BDI, BPC,
+  C-Pack, zero-block) and the best-of selector that Compresso uses and that
+  Figure 15 reports as "block-level compression".
+- :mod:`repro.compression.lz`, :mod:`repro.compression.huffman`, and
+  :mod:`repro.compression.deflate` -- the memory-specialized ASIC Deflate
+  (TMCC's ML2 compressor), its IBM general-purpose reference model, the
+  pipeline cycle model behind Table II, and the area/power model behind
+  Table I.
+"""
+
+from repro.compression.block import (
+    BDICompressor,
+    BPCCompressor,
+    BlockCompressor,
+    CPackCompressor,
+    CompressedBlock,
+    SelectiveBlockCompressor,
+    ZeroBlockCompressor,
+)
+from repro.compression.lz import LZCompressor, LZConfig, LZToken
+from repro.compression.huffman import (
+    FullHuffmanCodec,
+    ReducedHuffmanCodec,
+    ReducedTreeConfig,
+)
+from repro.compression.deflate import (
+    DeflateCodec,
+    DeflateConfig,
+    DeflateTimingModel,
+    IBMDeflateModel,
+    AsicAreaModel,
+)
+from repro.compression.explore import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    paper_design_point,
+    pareto_frontier,
+)
+
+__all__ = [
+    "BDICompressor",
+    "BPCCompressor",
+    "BlockCompressor",
+    "CPackCompressor",
+    "CompressedBlock",
+    "SelectiveBlockCompressor",
+    "ZeroBlockCompressor",
+    "LZCompressor",
+    "LZConfig",
+    "LZToken",
+    "FullHuffmanCodec",
+    "ReducedHuffmanCodec",
+    "ReducedTreeConfig",
+    "DeflateCodec",
+    "DeflateConfig",
+    "DeflateTimingModel",
+    "IBMDeflateModel",
+    "AsicAreaModel",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "paper_design_point",
+    "pareto_frontier",
+]

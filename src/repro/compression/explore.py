@@ -1,0 +1,137 @@
+"""Design-space exploration for the memory-specialized Deflate.
+
+Section V-B's methodology as a public API: sweep the HDL's tunable
+parameters (LZ CAM size, reduced-tree size, depth threshold, dynamic
+Huffman skip, 1.1 Pass sampling) over a page corpus, measuring compression
+ratio with the real codec, latency with the pipeline model, and silicon
+cost with the area model.  ``pareto_frontier`` then reports the
+non-dominated design points -- the paper's chosen configuration (1 KB CAM,
+16 leaves, skip on) sits on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.stats import geomean
+from repro.common.units import KIB, PAGE_SIZE
+from repro.compression.deflate import (
+    AsicAreaModel,
+    DeflateCodec,
+    DeflateConfig,
+    DeflateTimingModel,
+)
+from repro.compression.huffman import ReducedTreeConfig
+from repro.compression.lz import LZConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated hardware configuration."""
+
+    cam_size: int
+    tree_size: int
+    depth_threshold: int
+    dynamic_huffman_skip: bool
+    frequency_sample_fraction: float
+    ratio: float
+    half_page_latency_ns: float
+    compress_latency_ns: float
+    area_mm2: float
+    power_mw: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Better-or-equal on ratio, latency, and area; better on one."""
+        at_least = (
+            self.ratio >= other.ratio
+            and self.half_page_latency_ns <= other.half_page_latency_ns
+            and self.area_mm2 <= other.area_mm2
+        )
+        strictly = (
+            self.ratio > other.ratio
+            or self.half_page_latency_ns < other.half_page_latency_ns
+            or self.area_mm2 < other.area_mm2
+        )
+        return at_least and strictly
+
+
+@dataclass
+class DesignSpaceExplorer:
+    """Evaluates Deflate configurations over one corpus."""
+
+    pages: Sequence[bytes]
+    timing: DeflateTimingModel = field(default_factory=DeflateTimingModel)
+    area: AsicAreaModel = field(default_factory=AsicAreaModel)
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise ValueError("the corpus must contain at least one page")
+
+    def evaluate(self, config: DeflateConfig) -> DesignPoint:
+        """Measure one configuration with the real codec."""
+        codec = DeflateCodec(config)
+        compressed = [codec.compress(p) for p in self.pages]
+        ratios = [c.ratio for c in compressed]
+        half = [self.timing.decompress_latency_ns(c, PAGE_SIZE // 2)
+                for c in compressed]
+        comp = [self.timing.compress_latency_ns(c) for c in compressed]
+        cam = config.lz.window_size
+        tree = config.huffman.tree_size
+        return DesignPoint(
+            cam_size=cam,
+            tree_size=tree,
+            depth_threshold=config.huffman.depth_threshold,
+            dynamic_huffman_skip=config.dynamic_huffman_skip,
+            frequency_sample_fraction=config.huffman.frequency_sample_fraction,
+            ratio=geomean(ratios),
+            half_page_latency_ns=sum(half) / len(half),
+            compress_latency_ns=sum(comp) / len(comp),
+            area_mm2=self.area.total_area_mm2(cam_size=cam, tree_size=tree),
+            power_mw=self.area.total_power_mw(cam_size=cam, tree_size=tree),
+        )
+
+    def sweep(
+        self,
+        cam_sizes: Iterable[int] = (256, 512, 1 * KIB, 2 * KIB, 4 * KIB),
+        tree_sizes: Iterable[int] = (8, 16, 32),
+        depth_threshold: int = 8,
+        skip_options: Iterable[bool] = (True,),
+        base: Optional[DeflateConfig] = None,
+    ) -> List[DesignPoint]:
+        """Full-factorial sweep over the requested axes."""
+        base = base or DeflateConfig()
+        points = []
+        for cam in cam_sizes:
+            for tree in tree_sizes:
+                if tree > (1 << depth_threshold):
+                    continue
+                for skip in skip_options:
+                    config = replace(
+                        base,
+                        lz=replace(base.lz, window_size=cam),
+                        huffman=replace(base.huffman, tree_size=tree,
+                                        depth_threshold=depth_threshold),
+                        dynamic_huffman_skip=skip,
+                    )
+                    points.append(self.evaluate(config))
+        return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated design points (ratio up, latency/area down)."""
+    frontier = []
+    for candidate in points:
+        if not any(other.dominates(candidate) for other in points
+                   if other is not candidate):
+            frontier.append(candidate)
+    return frontier
+
+
+def paper_design_point(points: Sequence[DesignPoint]) -> Optional[DesignPoint]:
+    """The paper's chosen configuration, if it was swept."""
+    for point in points:
+        if (point.cam_size == 1 * KIB and point.tree_size == 16
+                and point.dynamic_huffman_skip):
+            return point
+    return None

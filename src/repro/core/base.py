@@ -1,0 +1,133 @@
+"""Controller interface and shared DRAM-layout bookkeeping.
+
+A memory-compression controller owns everything below the LLC: the CTE
+table in DRAM, the CTE cache, data placement, and migrations.  The
+simulator calls it for every LLC miss and dirty writeback, and (for TMCC)
+notifies it of page-walker PTB fetches so it can harvest embedded CTEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import StatGroup
+from repro.common.units import BLOCK_SIZE, PAGE_SIZE
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
+from repro.dram.system import DRAMSystem
+
+#: Access-path labels (Figure 8 timelines / Figure 19 breakdown).
+PATH_CTE_HIT = "cte_hit"
+PATH_PARALLEL_OK = "parallel_ok"
+PATH_PARALLEL_MISMATCH = "parallel_mismatch"
+PATH_SERIAL_NO_CTE = "serial_no_cte"
+PATH_ML2 = "ml2"
+
+
+@dataclass
+class MissResult:
+    """Outcome of one LLC-miss service."""
+
+    latency_ns: float
+    path: str
+    in_ml2: bool = False
+
+
+class MemoryController:
+    """Base class: identity placement, no compression, no translation."""
+
+    name = "base"
+
+    def __init__(self, config: SystemConfig, dram: DRAMSystem) -> None:
+        self.config = config
+        self.dram = dram
+        self.stats = StatGroup(self.name)
+        #: ppn -> nominal DRAM page for address formation.
+        self._dram_page: Dict[int, int] = {}
+        self._cte_table_base = 0  # set at initialize()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def initialize(
+        self,
+        data_ppns: Sequence[int],
+        hotness_rank: Dict[int, int],
+        table_ppns: Sequence[int],
+        model: PageCompressionModel,
+        dram_budget_bytes: Optional[int] = None,
+    ) -> None:
+        """Place all pages.  ``hotness_rank[ppn]`` is 0 for the hottest.
+
+        The base class maps every page 1:1 into DRAM (no compression).
+        """
+        for index, ppn in enumerate(list(table_ppns) + list(data_ppns)):
+            self._dram_page[ppn] = index
+        self._cte_table_base = len(self._dram_page) * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def _data_address(self, ppn: int, block_index: int) -> int:
+        dram_page = self._dram_page.get(ppn, ppn)
+        return dram_page * PAGE_SIZE + block_index * BLOCK_SIZE
+
+    def _cte_address(self, ppn: int, cte_size: int) -> int:
+        return self._cte_table_base + ppn * cte_size
+
+    def _dram_read_ns(self, address: int, now_ns: float,
+                      include_noc: bool = True) -> float:
+        """One 64 B DRAM read; CTE reads skip the LLC<->MC NoC leg."""
+        result = self.dram.read(address, now_ns)
+        if include_noc:
+            return result.latency_ns
+        return result.latency_ns - self.dram.config.timing.noc_ns
+
+    # ------------------------------------------------------------------
+    # Runtime interface
+    # ------------------------------------------------------------------
+
+    def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
+                      is_write: bool = False) -> MissResult:
+        """Serve an LLC miss for block ``block_index`` of page ``ppn``."""
+        latency = self._dram_read_ns(self._data_address(ppn, block_index), now_ns)
+        self.stats.counter("l3_misses").increment()
+        self.stats.histogram("miss_latency_ns").record(latency)
+        return MissResult(latency, PATH_CTE_HIT)
+
+    def serve_writeback(self, ppn: int, block_index: int, now_ns: float) -> None:
+        """Absorb a dirty LLC writeback (posted; no read-path latency)."""
+        self.dram.write(self._data_address(ppn, block_index), now_ns)
+        self.stats.counter("writebacks").increment()
+
+    def note_ptb_fetch(self, level: int, ptb_address: int,
+                       ptes: Optional[List[int]], huge_leaf: bool) -> None:
+        """Page-walker fetched a PTB; TMCC overrides this to harvest CTEs."""
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def dram_used_bytes(self) -> int:
+        """DRAM consumed by data + translation metadata."""
+        return len(self._dram_page) * PAGE_SIZE
+
+    @property
+    def average_miss_latency_ns(self) -> float:
+        return self.stats.histogram("miss_latency_ns").mean
+
+    def path_fractions(self) -> Dict[str, float]:
+        """Figure 19: how ML1 reads were served, as fractions."""
+        paths = (PATH_CTE_HIT, PATH_PARALLEL_OK, PATH_PARALLEL_MISMATCH,
+                 PATH_SERIAL_NO_CTE, PATH_ML2)
+        counts = {p: self.stats.counter(f"path_{p}").value for p in paths}
+        total = sum(counts.values())
+        if not total:
+            return {p: 0.0 for p in paths}
+        return {p: c / total for p, c in counts.items()}
+
+    def _record_path(self, path: str) -> None:
+        self.stats.counter(f"path_{path}").increment()

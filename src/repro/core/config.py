@@ -1,0 +1,53 @@
+"""Simulated-system configuration (Table III).
+
+One dataclass gathers every knob the experiments sweep, so a benchmark can
+say "TMCC at Compresso's DRAM usage, huge pages on, 2 MCs" in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.compression.deflate import DeflateConfig, DeflateTimingModel, IBMDeflateModel
+from repro.dram.system import DRAMConfig
+from repro.common.units import KIB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything Table III fixes, plus the reproduction's scale knobs."""
+
+    #: CPU clock (Table III: 2.8 GHz, 4-wide OoO).
+    cpu_ghz: float = 2.8
+    #: Single-level TLB entries (Table III: 2048, Zen-3-like total reach).
+    tlb_entries: int = 2048
+    cache: HierarchyConfig = field(default_factory=HierarchyConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    #: TMCC / OS-inspired CTE cache (Table III: 64 KB, 8 B page CTEs).
+    tmcc_cte_cache_bytes: int = 64 * KIB
+    #: Compresso CTE cache (Table III: 128 KB, 64 B per-page CTEs).
+    compresso_cte_cache_bytes: int = 128 * KIB
+
+    deflate: DeflateConfig = field(default_factory=DeflateConfig)
+    deflate_timing: DeflateTimingModel = field(default_factory=DeflateTimingModel)
+    ibm_timing: IBMDeflateModel = field(default_factory=IBMDeflateModel)
+
+    #: ML1 free-list watermarks (Section VI; scaled to simulation size --
+    #: the paper's 4000/3000 chunks assume a ~100 GB machine).
+    ml1_low_watermark: int = 48
+    ml1_critical_watermark: int = 32
+
+    #: Memory-level-parallelism factor: the fraction of each memory stall
+    #: the core cannot hide (4-wide OoO overlaps some of it).
+    mlp_stall_factor: float = 0.45
+
+    #: Sampled pages per workload for the compression oracles.
+    compression_samples: int = 24
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.cpu_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.cpu_ghz

@@ -1,0 +1,39 @@
+"""The bare-bone OS-inspired hardware compression (Section IV).
+
+Exactly the two-level engine with page-level CTEs -- but with neither of
+TMCC's fixes: a CTE-cache miss always fetches the CTE from DRAM *before*
+the data (Figure 4b), and ML2 pays the latency of IBM's general-purpose
+ASIC Deflate (>800 ns to reach a block).  Figure 20 measures TMCC's two
+optimizations against this design.
+"""
+
+from __future__ import annotations
+
+from repro.core.compmodel import PageRecord
+from repro.core.twolevel import TwoLevelController
+
+
+class OSInspiredController(TwoLevelController):
+    """Two-level memory, serial translation, IBM-speed Deflate."""
+
+    name = "osinspired"
+
+    def _decompress_half_ns(self, record: PageRecord) -> float:
+        return record.ibm_decompress_half_ns
+
+    def _decompress_full_ns(self, record: PageRecord) -> float:
+        return record.ibm_decompress_full_ns
+
+    def _compress_ns(self, record: PageRecord) -> float:
+        return record.ibm_compress_ns
+
+
+class OSInspiredFastDeflateController(TwoLevelController):
+    """Ablation point: fast Deflate but still serial translation.
+
+    Figure 20 splits TMCC's win into its ML1 part (embedded CTEs) and its
+    ML2 part (the memory-specialized Deflate); this controller isolates
+    the ML2 part.
+    """
+
+    name = "osinspired_fastml2"

@@ -1,0 +1,178 @@
+"""TMCC: Translation-optimized Memory Compression for Capacity (Section V).
+
+On top of the two-level engine, TMCC adds its two contributions:
+
+1. **Embedded CTEs in compressed PTBs** (Section V-A).  Every page-walker
+   PTB fetch is reported via :meth:`note_ptb_fetch`; the controller keeps
+   a shadow of each PTB's hardware-compressed encoding and a 64-entry CTE
+   Buffer mapping PPN -> (embedded CTE snapshot, owning PTB).  When an LLC
+   miss later misses the CTE cache, the buffered snapshot lets the MC
+   fetch the data *speculatively in parallel* with the verifying CTE read
+   (Figure 11).  A stale snapshot (the page migrated since the PTB last
+   embedded it) is detected by the parallel verify, costs one re-access,
+   and is repaired lazily (Figure 8c).
+
+2. **Memory-specialized Deflate for ML2** (Section V-B): ML2 hits pay the
+   fast ASIC's half-page latency (~140 ns) instead of IBM's (~878 ns);
+   these latencies come from the page's own measured
+   :class:`~repro.core.compmodel.PageRecord`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import (
+    MissResult,
+    PATH_ML2,
+    PATH_PARALLEL_MISMATCH,
+    PATH_PARALLEL_OK,
+    PATH_SERIAL_NO_CTE,
+)
+from repro.core.config import SystemConfig
+from repro.core.twolevel import TwoLevelController
+from repro.dram.system import DRAMSystem
+from repro.mc.cte import CTE_SIZE_PAGE, PageCTE
+from repro.vm.pte import pte_ppn, pte_present
+from repro.vm.ptbcodec import PTBCodec
+
+#: CTE Buffer capacity (Section V-A6: 64 entries, ~1 KB).
+CTE_BUFFER_ENTRIES = 64
+
+
+class TMCCController(TwoLevelController):
+    """The paper's design."""
+
+    name = "tmcc"
+
+    def __init__(self, config: SystemConfig, dram: DRAMSystem,
+                 seed: int = 0) -> None:
+        super().__init__(config, dram)
+        self.ptb_codec = PTBCodec()
+        #: PTB physical address -> compressed shadow (None: incompressible).
+        self._ptb_shadow: Dict[int, Optional[object]] = {}
+        #: PPN -> (snapshot, owning PTB address); bounded FIFO (Figure 10).
+        self._cte_buffer: "OrderedDict[int, Tuple[Optional[tuple], int]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Page-walk side: harvesting embedded CTEs
+    # ------------------------------------------------------------------
+
+    def note_ptb_fetch(self, level: int, ptb_address: int,
+                       ptes: Optional[List[int]], huge_leaf: bool) -> None:
+        """The walker fetched a PTB; buffer its embedded CTEs.
+
+        ``huge_leaf`` marks an L2 PTB whose entries map 2 MiB pages: its
+        PTEs cover 4K base pages each, far too many CTEs to embed
+        (Section VIII), so TMCC learns nothing from it.
+        """
+        if ptes is None or huge_leaf:
+            return
+        shadow = self._shadow_for(ptb_address, ptes)
+        for pte in ptes:
+            if not pte_present(pte):
+                continue
+            ppn = pte_ppn(pte)
+            embedded = None
+            if shadow is not None:
+                embedded = shadow.embedded_cte_for_ppn(ppn, self.ptb_codec.ppn_bits)
+            self._buffer_insert(ppn, embedded, ptb_address)
+
+    def _shadow_for(self, ptb_address: int, ptes: List[int]):
+        if ptb_address in self._ptb_shadow:
+            return self._ptb_shadow[ptb_address]
+        compressed = self.ptb_codec.compress(ptes)
+        if compressed is not None:
+            # Freshly compressed PTB: embed the CTEs we currently hold
+            # (the L2-compresses-on-walker-fill path of Section V-A4).
+            for pte in ptes:
+                if not pte_present(pte):
+                    continue
+                ppn = pte_ppn(pte)
+                compressed.set_cte_for_ppn(
+                    ppn, self.ptb_codec.ppn_bits, self._snapshot(ppn)
+                )
+            self.stats.counter("ptbs_compressed").increment()
+            table_ppn = ptb_address >> 12
+            table_cte = self._cte.get(table_ppn)
+            if table_cte is not None:
+                block_index = (ptb_address >> 6) & 63
+                table_cte.set_block_pair_compressed(block_index, True)
+        else:
+            self.stats.counter("ptbs_incompressible").increment()
+        self._ptb_shadow[ptb_address] = compressed
+        return compressed
+
+    def _snapshot(self, ppn: int) -> Optional[tuple]:
+        """Current truncated-CTE content for a page, or None if unknown."""
+        cte = self._cte.get(ppn)
+        if cte is None:
+            return None
+        return (cte.dram_page, cte.in_ml2, cte.dram_offset)
+
+    def _buffer_insert(self, ppn: int, embedded: Optional[tuple],
+                       ptb_address: int) -> None:
+        if ppn in self._cte_buffer:
+            self._cte_buffer.move_to_end(ppn)
+        self._cte_buffer[ppn] = (embedded, ptb_address)
+        while len(self._cte_buffer) > CTE_BUFFER_ENTRIES:
+            self._cte_buffer.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Miss side: parallel speculative access (Figures 8b/8c, 11)
+    # ------------------------------------------------------------------
+
+    def _translate_on_miss(self, ppn: int, cte: PageCTE, block_index: int,
+                           now_ns: float):
+        entry = self._cte_buffer.get(ppn)
+        if entry is None or entry[0] is None:
+            # Uncommon: no embedded CTE available -> serial, like prior work.
+            return super()._translate_on_miss(ppn, cte, block_index, now_ns)
+
+        snapshot, ptb_address = entry
+        cte_ns = self._fetch_cte_ns(ppn, now_ns)
+        if snapshot == self._snapshot(ppn):
+            # Common case: speculative data access verified correct.
+            data_ns, in_ml2 = self._access_data(ppn, cte, block_index, now_ns)
+            latency = max(cte_ns, data_ns)
+            path = PATH_ML2 if in_ml2 else PATH_PARALLEL_OK
+            return latency, path, in_ml2
+        # Mismatch: the speculative DRAM access was wasted; re-access with
+        # the correct CTE, then repair the PTB's embedded copy lazily.
+        wasted_ns = self._dram_read_ns(
+            snapshot[0] * 4096 + block_index * 64, now_ns
+        )
+        data_ns, in_ml2 = self._access_data(
+            ppn, cte, block_index, now_ns + max(cte_ns, wasted_ns)
+        )
+        self._repair_embedded(ppn, ptb_address)
+        latency = max(cte_ns, wasted_ns) + data_ns
+        path = PATH_ML2 if in_ml2 else PATH_PARALLEL_MISMATCH
+        self.stats.counter("embedded_mismatches").increment()
+        return latency, path, in_ml2
+
+    def _repair_embedded(self, ppn: int, ptb_address: int) -> None:
+        """Piggybacked-response repair (Section V-A3, last paragraph)."""
+        shadow = self._ptb_shadow.get(ptb_address)
+        fresh = self._snapshot(ppn)
+        if shadow is not None:
+            shadow.set_cte_for_ppn(ppn, self.ptb_codec.ppn_bits, fresh)
+        if ppn in self._cte_buffer:
+            self._cte_buffer[ppn] = (fresh, ptb_address)
+        self.stats.counter("embedded_repairs").increment()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def embedded_coverage(self) -> float:
+        """Fraction of CTE-cache misses served via embedded CTEs."""
+        ok = self.stats.counter("path_parallel_ok").value
+        bad = self.stats.counter("path_parallel_mismatch").value
+        serial = self.stats.counter("path_serial_no_cte").value
+        total = ok + bad + serial
+        return (ok + bad) / total if total else 0.0

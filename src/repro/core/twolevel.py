@@ -1,0 +1,384 @@
+"""The OS-inspired two-level memory engine (Section IV-B).
+
+ML1 holds hot pages uncompressed (one 4 KB chunk each); ML2 holds cold
+pages Deflate-compressed in size-class sub-chunks.  A single chunk pool
+backs both: ML2's free lists grow by taking chunks from ML1's free list
+and dismantle empty super-chunks back into it.
+
+This class implements everything the OS-inspired approach shares --
+placement under a DRAM budget, page-level CTEs and their cache, the
+recency list, eviction watermarks, and the ML2 access/migration path.
+Subclasses differ in (a) how a CTE-cache miss is translated (serial fetch
+vs TMCC's embedded-CTE parallel fetch) and (b) which Deflate engine's
+latencies ML2 pays (IBM's vs the memory-specialized ASIC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import DeterministicRNG
+from repro.common.units import BLOCK_SIZE, PAGE_SIZE
+from repro.core.base import (
+    MemoryController,
+    MissResult,
+    PATH_CTE_HIT,
+    PATH_ML2,
+    PATH_SERIAL_NO_CTE,
+)
+from repro.core.compmodel import PageCompressionModel, PageRecord
+from repro.core.config import SystemConfig
+from repro.dram.system import DRAMSystem
+from repro.mc.cte import CTE_SIZE_PAGE, PageCTE
+from repro.mc.ctecache import CTECache
+from repro.mc.freelist import ML1FreeList, ML2FreeLists, SubChunk
+from repro.mc.migration import MigrationBuffer
+from repro.mc.recency import RecencyList
+
+#: Sub-chunk padding slack when planning the ML1/ML2 split (size-class
+#: rounding makes ML2 slightly bigger than the sum of compressed sizes).
+_PLAN_SLACK = 1.08
+
+
+class TwoLevelController(MemoryController):
+    """Shared ML1/ML2 machinery; see subclasses for the CTE policies."""
+
+    name = "twolevel"
+
+    def __init__(self, config: SystemConfig, dram: DRAMSystem,
+                 seed: int = 0) -> None:
+        super().__init__(config, dram)
+        self.cte_cache = CTECache(
+            size_bytes=config.tmcc_cte_cache_bytes,
+            cte_size=CTE_SIZE_PAGE,
+            name=f"{self.name}_cte",
+        )
+        self.ml1_free = ML1FreeList()
+        self.ml2_free = ML2FreeLists()
+        self.recency = RecencyList(DeterministicRNG(seed ^ 0xEC))
+        self.migration = MigrationBuffer()
+        self._cte: Dict[int, PageCTE] = {}
+        self._subchunk: Dict[int, SubChunk] = {}
+        self._model: Optional[PageCompressionModel] = None
+        self._pinned: set = set()  # page-table pages never leave ML1
+        self._total_pages = 0
+        self._budget_chunks = 0
+
+    # ------------------------------------------------------------------
+    # ML2 engine selection (overridden by the OS-inspired baseline)
+    # ------------------------------------------------------------------
+
+    def _decompress_half_ns(self, record: PageRecord) -> float:
+        return record.decompress_half_ns
+
+    def _decompress_full_ns(self, record: PageRecord) -> float:
+        return record.decompress_full_ns
+
+    def _compress_ns(self, record: PageRecord) -> float:
+        return record.compress_ns
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def initialize(
+        self,
+        data_ppns: Sequence[int],
+        hotness_rank: Dict[int, int],
+        table_ppns: Sequence[int],
+        model: PageCompressionModel,
+        dram_budget_bytes: Optional[int] = None,
+    ) -> None:
+        """Split pages across ML1/ML2 to fit ``dram_budget_bytes``.
+
+        Models the paper's warm-up equilibrium: the hottest pages that fit
+        live in ML1, everything colder sits compressed in ML2.  With no
+        budget, everything is ML1 (no memory is being saved).
+        """
+        self._model = model
+        self._total_pages = len(data_ppns) + len(table_ppns)
+        footprint = self._total_pages * PAGE_SIZE
+        metadata = self._total_pages * (CTE_SIZE_PAGE + RecencyList.ELEMENT_BYTES)
+        if dram_budget_bytes is None:
+            # No budget: everything fits in ML1 (no memory being saved).
+            dram_budget_bytes = (footprint + metadata
+                                 + (self.config.ml1_low_watermark + 1) * PAGE_SIZE)
+
+        budget_chunks = (dram_budget_bytes - metadata) // PAGE_SIZE
+        self._budget_chunks = budget_chunks
+
+        ordered = sorted(data_ppns, key=lambda p: hotness_rank.get(p, 1 << 30))
+        must_ml1 = [p for p in table_ppns]
+        compressible: List[int] = []
+        for ppn in ordered:
+            if model.record_for(ppn).deflate_incompressible:
+                must_ml1.append(ppn)
+            else:
+                compressible.append(ppn)
+
+        # Keep a free-chunk reserve, scaled down for small simulations.
+        reserve = min(self.config.ml1_low_watermark, max(2, budget_chunks // 8))
+        available = budget_chunks - len(must_ml1) - reserve
+        if available < 0:
+            raise ValueError(
+                f"DRAM budget {dram_budget_bytes} cannot hold even the "
+                f"{len(must_ml1)} uncompressible/pinned pages"
+            )
+        ml1_count = self._plan_split(compressible, available)
+
+        # Build the chunk pool and place pages.
+        self.ml1_free.push_many(range(budget_chunks))
+        for ppn in must_ml1 + compressible[:ml1_count]:
+            chunk = self.ml1_free.pop()
+            self._dram_page[ppn] = chunk
+            self._cte[ppn] = PageCTE(dram_page=chunk, in_ml2=False)
+        for ppn in compressible[ml1_count:]:
+            self._place_in_ml2(ppn)
+        self._pinned = set(table_ppns)
+
+        # Recency list: coldest pushed first so the hottest end up at MRU.
+        for ppn in reversed(compressible[:ml1_count]):
+            self.recency.push_hot(ppn)
+        self._cte_table_base = budget_chunks * PAGE_SIZE
+
+    def _plan_split(self, compressible: List[int], available_chunks: int) -> int:
+        """Largest hot prefix kept in ML1 such that everything fits."""
+        if self._model is None:
+            raise RuntimeError("initialize() sets the model first")
+        sizes = [
+            self.ml2_free.class_for(self._model.record_for(p).deflate_bytes)
+            for p in compressible
+        ]
+        suffix = [0] * (len(sizes) + 1)
+        for i in range(len(sizes) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + sizes[i]
+
+        def fits(ml1_count: int) -> bool:
+            ml2_chunks = -(-int(suffix[ml1_count] * _PLAN_SLACK) // PAGE_SIZE)
+            return ml1_count + ml2_chunks <= available_chunks
+
+        if not fits(0):
+            raise ValueError("DRAM budget too small even with full compression")
+        low, high = 0, len(sizes)
+        while low < high:
+            mid = (low + high + 1) // 2
+            if fits(mid):
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def _place_in_ml2(self, ppn: int) -> bool:
+        record = self._model.record_for(ppn)
+        subchunk = self.ml2_free.alloc(record.deflate_bytes, self.ml1_free)
+        if subchunk is None:
+            return False
+        self._subchunk[ppn] = subchunk
+        base_chunk = subchunk.superchunk.chunk_ids[0]
+        self._dram_page[ppn] = base_chunk
+        self._cte[ppn] = PageCTE(
+            dram_page=base_chunk,
+            dram_offset=subchunk.slot * subchunk.size,
+            in_ml2=True,
+            compressed_size=record.deflate_bytes,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Runtime: LLC misses
+    # ------------------------------------------------------------------
+
+    def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
+                      is_write: bool = False) -> MissResult:
+        self.stats.counter("l3_misses").increment()
+        cte = self._cte.get(ppn)
+        if cte is None:  # page unknown to the controller (e.g. I/O space)
+            latency = self._dram_read_ns(self._data_address(ppn, block_index), now_ns)
+            self.stats.histogram("miss_latency_ns").record(latency)
+            return MissResult(latency, PATH_CTE_HIT)
+
+        if self.cte_cache.lookup(ppn):
+            latency, in_ml2 = self._access_data(ppn, cte, block_index, now_ns)
+            path = PATH_ML2 if in_ml2 else PATH_CTE_HIT
+        else:
+            latency, path, in_ml2 = self._translate_on_miss(
+                ppn, cte, block_index, now_ns
+            )
+            self.cte_cache.fill(ppn)
+
+        if not cte.in_ml2 and not cte.is_incompressible:
+            self.recency.on_access(ppn)
+        self._record_path(path)
+        self.stats.histogram("miss_latency_ns").record(latency)
+        return MissResult(latency, path, in_ml2=in_ml2)
+
+    def _translate_on_miss(
+        self, ppn: int, cte: PageCTE, block_index: int, now_ns: float
+    ) -> Tuple[float, str, bool]:
+        """CTE-cache miss: the baseline fetches the CTE *serially*."""
+        cte_ns = self._fetch_cte_ns(ppn, now_ns)
+        latency, in_ml2 = self._access_data(ppn, cte, block_index, now_ns + cte_ns)
+        path = PATH_ML2 if in_ml2 else PATH_SERIAL_NO_CTE
+        return cte_ns + latency, path, in_ml2
+
+    def _fetch_cte_ns(self, ppn: int, now_ns: float) -> float:
+        self.stats.counter("cte_dram_fetches").increment()
+        return self._dram_read_ns(
+            self._cte_address(ppn, CTE_SIZE_PAGE), now_ns, include_noc=False
+        )
+
+    def _access_data(self, ppn: int, cte: PageCTE, block_index: int,
+                     now_ns: float) -> Tuple[float, bool]:
+        if not cte.in_ml2:
+            return (
+                self._dram_read_ns(self._data_address(ppn, block_index), now_ns),
+                False,
+            )
+        return self._ml2_access(ppn, cte, now_ns), True
+
+    # ------------------------------------------------------------------
+    # ML2 access: decompress + background migration to ML1
+    # ------------------------------------------------------------------
+
+    def _ml2_access(self, ppn: int, cte: PageCTE, now_ns: float) -> float:
+        record = self._model.record_for(ppn)
+        self.stats.counter("ml2_accesses").increment()
+
+        compressed_blocks = -(-cte.compressed_size // BLOCK_SIZE)
+        first_read = self._dram_read_ns(
+            self._data_address(ppn, 0), now_ns, include_noc=True
+        )
+        self.dram.stream(self._data_address(ppn, 0), compressed_blocks - 1, now_ns)
+        # The MC replies as soon as the needed block decompresses.
+        latency = first_read + self._decompress_half_ns(record)
+
+        # Background migration to ML1 through the 8-entry buffer; a full
+        # buffer stalls this ML2 access (Section VI).
+        migration_ns = self._decompress_full_ns(record) + 64 * \
+            self.dram.config.timing.burst_ns
+        latency += self.migration.acquire(now_ns, migration_ns)
+        self._migrate_to_ml1(ppn, cte, now_ns + latency)
+        # Section VI priority rules: evictions normally run behind demand
+        # ML2 accesses, but once the free list drops below the critical
+        # watermark their priority flips and the demand access waits.
+        eviction_ns = self._maybe_evict(now_ns + latency)
+        if self.ml1_free.count < self.config.ml1_critical_watermark:
+            latency += eviction_ns
+            self.stats.counter("priority_flips").increment()
+        return latency
+
+    def _migrate_to_ml1(self, ppn: int, cte: PageCTE, now_ns: float) -> None:
+        chunk = self.ml1_free.pop()
+        if chunk is None:
+            self._maybe_evict(now_ns, force_one=True)
+            chunk = self.ml1_free.pop()
+            if chunk is None:
+                # Truly wedged: leave the page in ML2 (decompress-on-access).
+                self.stats.counter("migration_failed").increment()
+                return
+        subchunk = self._subchunk.pop(ppn, None)
+        if subchunk is not None:
+            self.ml2_free.free(subchunk, self.ml1_free)
+        self._dram_page[ppn] = chunk
+        cte.dram_page = chunk
+        cte.dram_offset = 0
+        cte.in_ml2 = False
+        cte.compressed_size = 0
+        self.dram.stream(chunk * PAGE_SIZE, 64, now_ns, is_write=True)
+        self.recency.push_hot(ppn)
+        self.stats.counter("ml2_to_ml1_migrations").increment()
+
+    # ------------------------------------------------------------------
+    # Eviction pump (ML1 -> ML2)
+    # ------------------------------------------------------------------
+
+    def _maybe_evict(self, now_ns: float, force_one: bool = False) -> float:
+        """Run the eviction pump; returns the compression time spent.
+
+        The return value is the foreground cost a caller pays when the
+        Section VI priority flip is in effect (free list below the
+        critical watermark); under normal priority it is ignored.
+        """
+        target = self.config.ml1_low_watermark
+        foreground_ns = 0.0
+        evicted = 0
+        guard = 0
+        while (self.ml1_free.count < target or (force_one and evicted == 0)):
+            guard += 1
+            if guard > 128:
+                break
+            victim = self.recency.evict_coldest()
+            if victim is None:
+                self.stats.counter("eviction_starved").increment()
+                break
+            cte = self._cte.get(victim)
+            if cte is None or cte.in_ml2 or victim in self._pinned:
+                continue
+            record = self._model.record_for(victim)
+            if record.deflate_incompressible:
+                # Retain in ML1, off the recency list (Section IV-B).
+                cte.is_incompressible = True
+                self.stats.counter("incompressible_retained").increment()
+                continue
+            old_chunk = self._dram_page[victim]
+            self.ml1_free.push(old_chunk)
+            if not self._place_in_ml2(victim):
+                # Could not carve a sub-chunk; undo and stop evicting.
+                popped = self.ml1_free.pop()
+                self._dram_page[victim] = popped
+                self._cte[victim] = PageCTE(dram_page=popped, in_ml2=False)
+                self.recency.push_hot(victim)
+                self.stats.counter("eviction_failed").increment()
+                break
+            # Compressed page streams out in the background.
+            compressed_blocks = -(-record.deflate_bytes // BLOCK_SIZE)
+            self.dram.stream(self._dram_page[victim] * PAGE_SIZE,
+                             compressed_blocks, now_ns, is_write=True)
+            self.migration.acquire(now_ns, self._compress_ns(record))
+            foreground_ns += self._compress_ns(record)
+            self.cte_cache.invalidate_page(victim)
+            self.stats.counter("ml1_to_ml2_evictions").increment()
+            evicted += 1
+        return foreground_ns
+
+    # ------------------------------------------------------------------
+    # Writebacks
+    # ------------------------------------------------------------------
+
+    def serve_writeback(self, ppn: int, block_index: int, now_ns: float) -> None:
+        self.dram.write(self._data_address(ppn, block_index), now_ns)
+        self.stats.counter("writebacks").increment()
+        cte = self._cte.get(ppn)
+        if cte is not None and cte.is_incompressible and not cte.in_ml2:
+            # Writebacks may change compressibility; 1% re-add (Section IV-B).
+            if self.recency.maybe_readd_after_writeback(ppn):
+                cte.is_incompressible = False
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def dram_used_bytes(self) -> int:
+        """Chunks in use (ML1 pages + ML2 super-chunks) + metadata."""
+        used_chunks = self._budget_chunks - self.ml1_free.count
+        metadata = self._total_pages * CTE_SIZE_PAGE + self.recency.overhead_bytes()
+        return used_chunks * PAGE_SIZE + metadata
+
+    @property
+    def ml2_page_count(self) -> int:
+        return sum(1 for cte in self._cte.values() if cte.in_ml2)
+
+    @property
+    def ml1_page_count(self) -> int:
+        return sum(1 for cte in self._cte.values() if not cte.in_ml2)
+
+    @property
+    def cte_hit_rate(self) -> float:
+        return self.cte_cache.stats.hit_rate
+
+    def ml2_access_rate(self) -> float:
+        """ML2 accesses per LLC miss (Figure 21's metric)."""
+        misses = self.stats.counter("l3_misses").value
+        if not misses:
+            return 0.0
+        return self.stats.counter("ml2_accesses").value / misses

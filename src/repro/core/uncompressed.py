@@ -1,0 +1,17 @@
+"""No-compression reference system.
+
+Physical pages map 1:1 to DRAM pages, every LLC miss is exactly one DRAM
+access, and there is no translation beyond the page table.  This is
+Figure 18's "No Compression" bar (~53 ns average L3 miss latency: NoC +
+DRAM) and the denominator for effective-capacity claims.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import MemoryController
+
+
+class UncompressedController(MemoryController):
+    """The base class already implements identity placement."""
+
+    name = "uncompressed"

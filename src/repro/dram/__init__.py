@@ -1,0 +1,24 @@
+"""DRAM substrate: DDR4-3200 timing, banks with row buffers, an
+FR-FCFS-with-row-cap scheduler approximation, XOR-based bank mapping, and
+the channel/controller interleaving policies of Section VIII.
+"""
+
+from repro.dram.timing import DDR4Timing
+from repro.dram.interleave import (
+    InterleavePolicy,
+    SUBPAGE_EVERYWHERE,
+    TMCC_COMPATIBLE,
+    PAGE_EVERYWHERE,
+)
+from repro.dram.system import DRAMConfig, DRAMSystem, ReadResult
+
+__all__ = [
+    "DDR4Timing",
+    "InterleavePolicy",
+    "SUBPAGE_EVERYWHERE",
+    "TMCC_COMPATIBLE",
+    "PAGE_EVERYWHERE",
+    "DRAMConfig",
+    "DRAMSystem",
+    "ReadResult",
+]

@@ -1,0 +1,60 @@
+"""Memory-controller / channel interleaving policies (Section VIII).
+
+TMCC lives in the memory controller and compresses at page granularity, so
+addresses may only interleave *across MCs* at >= 4 KB granularity.  The
+paper evaluates three policies on a 2-MC x 2-channel system:
+
+- ``SUBPAGE_EVERYWHERE`` (baseline): MCs interleaved at 512 B, channels
+  within each MC at 256 B.  Incompatible with TMCC; the reference point.
+- ``TMCC_COMPATIBLE``: MCs at 4 KB, channels within each MC at 256 B.
+  The paper's recommended policy (~1% average delta, up to +10% from row
+  locality).
+- ``PAGE_EVERYWHERE``: both MCs and channels at 4 KB (no sub-page
+  interleaving at all); loses channel-level parallelism for streaming
+  workloads (-5..-11% on sp, D, hpcg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class InterleavePolicy:
+    """Splits a physical address into (mc, channel, local address)."""
+
+    name: str
+    mc_granularity: int
+    channel_granularity: int
+
+    def __post_init__(self) -> None:
+        for granularity in (self.mc_granularity, self.channel_granularity):
+            if not is_power_of_two(granularity) or granularity < 64:
+                raise ValueError(
+                    f"granularity must be a power of two >= 64, got {granularity}"
+                )
+
+    def route(self, address: int, num_mcs: int, channels_per_mc: int):
+        """Return ``(mc index, channel index, channel-local address)``.
+
+        The MC bits are taken first (at ``mc_granularity``), then channel
+        bits (at ``channel_granularity``) from the remaining address, the
+        way chained interleaving decoders work.
+        """
+        mc = (address // self.mc_granularity) % num_mcs
+        # Remove the MC bits so each MC sees a dense local address space.
+        above = address // (self.mc_granularity * num_mcs)
+        below = address % self.mc_granularity
+        mc_local = above * self.mc_granularity + below
+        channel = (mc_local // self.channel_granularity) % channels_per_mc
+        above_ch = mc_local // (self.channel_granularity * channels_per_mc)
+        below_ch = mc_local % self.channel_granularity
+        local = above_ch * self.channel_granularity + below_ch
+        return mc, channel, local
+
+
+SUBPAGE_EVERYWHERE = InterleavePolicy("subpage-everywhere", 512, 256)
+TMCC_COMPATIBLE = InterleavePolicy("tmcc-compatible", 4096, 256)
+PAGE_EVERYWHERE = InterleavePolicy("page-everywhere", 4096, 4096)

@@ -1,0 +1,38 @@
+"""DDR4-3200 timing parameters (Table III).
+
+tCL = tRCD = tRP = 13.75 ns; one 64 B burst moves at the 25.6 GB/s channel
+rate (2.5 ns of data-bus occupancy); the NoC between the memory controller
+and the LLC tile adds 18 ns each way combined (Table III's "MC to Cache NoC
+latency"), which is why Figure 18's uncompressed L3 miss costs ~53 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """Latency components in nanoseconds."""
+
+    tcl_ns: float = 13.75
+    trcd_ns: float = 13.75
+    trp_ns: float = 13.75
+    burst_ns: float = 2.5          # 64 B / 25.6 GB/s
+    noc_ns: float = 18.0           # MC <-> LLC network-on-chip
+    channel_gbps: float = 25.6
+
+    @property
+    def row_hit_ns(self) -> float:
+        """Open-row access: CAS latency + burst."""
+        return self.tcl_ns + self.burst_ns
+
+    @property
+    def row_closed_ns(self) -> float:
+        """Closed bank: activate + CAS + burst."""
+        return self.trcd_ns + self.tcl_ns + self.burst_ns
+
+    @property
+    def row_conflict_ns(self) -> float:
+        """Wrong row open: precharge + activate + CAS + burst."""
+        return self.trp_ns + self.trcd_ns + self.tcl_ns + self.burst_ns

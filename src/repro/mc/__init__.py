@@ -1,0 +1,33 @@
+"""Memory-controller data structures shared by the compression designs.
+
+- :mod:`repro.mc.cte` -- Compression Translation Entry layouts: TMCC's 8 B
+  page-level CTE (Figure 13) and Compresso's 64 B block-level metadata.
+- :mod:`repro.mc.ctecache` -- the dedicated CTE cache (64 KB for TMCC with
+  32 KB reach per block, 128 KB for Compresso with 4 KB reach).
+- :mod:`repro.mc.freelist` -- ML1 free list (4 KB chunks) and ML2 free
+  lists (sub-chunks carved fragmentation-free out of super-chunks).
+- :mod:`repro.mc.recency` -- the Recency List that ranks ML1 pages by
+  sampled access recency (Section IV-B).
+- :mod:`repro.mc.migration` -- the 32 KB migration buffer between memory
+  levels (Section VI).
+"""
+
+from repro.mc.cte import PageCTE, CompressoCTE, CTE_SIZE_PAGE, CTE_SIZE_BLOCKLEVEL
+from repro.mc.ctecache import CTECache
+from repro.mc.freelist import ML1FreeList, ML2FreeLists, SubChunk, superchunk_geometry
+from repro.mc.recency import RecencyList
+from repro.mc.migration import MigrationBuffer
+
+__all__ = [
+    "PageCTE",
+    "CompressoCTE",
+    "CTE_SIZE_PAGE",
+    "CTE_SIZE_BLOCKLEVEL",
+    "CTECache",
+    "ML1FreeList",
+    "ML2FreeLists",
+    "SubChunk",
+    "superchunk_geometry",
+    "RecencyList",
+    "MigrationBuffer",
+]

@@ -1,0 +1,55 @@
+"""The migration buffer between ML1 and ML2 (Section VI).
+
+The MC buffers page transfers through eight 4 KB entries (32 KB total).
+ML2 reads respond to the LLC as soon as the needed block decompresses;
+the rest of the page drains to ML1 in the background through this buffer.
+When all entries are busy, further ML2 accesses stall until one frees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.common.stats import Counter, Histogram
+
+
+class MigrationBuffer:
+    """Occupancy model: entries busy until their transfer completes."""
+
+    def __init__(self, entries: int = 8) -> None:
+        if entries <= 0:
+            raise ValueError("migration buffer needs at least one entry")
+        self.entries = entries
+        self._release_times: List[float] = []  # min-heap of busy-until times
+        self.stalls = Counter("migration_stalls")
+        self.stall_ns = Histogram("migration_stall_ns")
+
+    def _drain(self, now_ns: float) -> None:
+        while self._release_times and self._release_times[0] <= now_ns:
+            heapq.heappop(self._release_times)
+
+    def acquire(self, now_ns: float, duration_ns: float) -> float:
+        """Reserve an entry for ``duration_ns``; returns the stall suffered.
+
+        If the buffer is full, the caller waits until the earliest entry
+        frees; that wait is returned (and recorded) as stall time.
+        """
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        self._drain(now_ns)
+        stall = 0.0
+        start = now_ns
+        if len(self._release_times) >= self.entries:
+            earliest = self._release_times[0]
+            stall = max(0.0, earliest - now_ns)
+            start = earliest
+            heapq.heappop(self._release_times)
+            self.stalls.increment()
+            self.stall_ns.record(stall)
+        heapq.heappush(self._release_times, start + duration_ns)
+        return stall
+
+    def occupancy(self, now_ns: float) -> int:
+        self._drain(now_ns)
+        return len(self._release_times)

@@ -1,0 +1,75 @@
+"""Table rendering and report assembly.
+
+The benchmark harness, the CLI, and ``scripts/reproduce.py`` all present
+reproduced tables; this module is the one place that formats them, so the
+text output and the markdown report stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def render_table(header: Sequence[Cell], rows: Sequence[Sequence[Cell]]) -> str:
+    """Align a header + rows into fixed-width text columns."""
+    if not header:
+        raise ValueError("a table needs a header")
+    grid = [[str(c) for c in header]] + [[str(c) for c in row] for row in rows]
+    width = len(grid[0])
+    if any(len(row) != width for row in grid):
+        raise ValueError("all rows must match the header's column count")
+    widths = [max(len(row[i]) for row in grid) for i in range(width)]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(grid[0], widths))]
+    lines.append("-" * len(lines[0]))
+    for row in grid[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ReproducedTable:
+    """One regenerated table/figure."""
+
+    title: str
+    header: Sequence[Cell]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return f"=== {self.title} ===\n{render_table(self.header, self.rows)}"
+
+    def to_markdown(self) -> str:
+        head = "| " + " | ".join(str(c) for c in self.header) + " |"
+        sep = "|" + "|".join("---" for _ in self.header) + "|"
+        body = "\n".join(
+            "| " + " | ".join(str(c) for c in row) + " |" for row in self.rows
+        )
+        return f"## {self.title}\n\n{head}\n{sep}\n{body}\n"
+
+
+@dataclass
+class Report:
+    """A collection of reproduced tables, writable as markdown."""
+
+    title: str
+    tables: List[ReproducedTable] = field(default_factory=list)
+
+    def add(self, table: ReproducedTable) -> None:
+        self.tables.append(table)
+
+    def to_markdown(self) -> str:
+        parts = [f"# {self.title}\n"]
+        parts += [table.to_markdown() for table in self.tables]
+        return "\n".join(parts)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_markdown())
+        return path

@@ -1,0 +1,29 @@
+"""Trace-driven memory-subsystem simulator.
+
+- :mod:`repro.sim.simulator` -- the engine: replays a workload trace
+  through TLB, page walker, cache hierarchy, compression controller, and
+  DRAM, accounting latency per access.
+- :mod:`repro.sim.results` -- the result record every figure reads from.
+- :mod:`repro.sim.experiments` -- orchestration for the paper's headline
+  comparisons (iso-capacity performance, iso-performance capacity,
+  Figure 20 splits, huge pages, interleaving).
+"""
+
+from repro.sim.simulator import Simulator, CONTROLLERS
+from repro.sim.results import SimResult
+from repro.sim.experiments import (
+    run_workload,
+    iso_capacity_comparison,
+    iso_performance_capacity,
+    osinspired_split,
+)
+
+__all__ = [
+    "Simulator",
+    "CONTROLLERS",
+    "SimResult",
+    "run_workload",
+    "iso_capacity_comparison",
+    "iso_performance_capacity",
+    "osinspired_split",
+]

@@ -1,0 +1,106 @@
+"""Simulation result record.
+
+One :class:`SimResult` carries every statistic the paper's figures plot,
+so benchmark harnesses only format rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run measured."""
+
+    workload: str
+    controller: str
+    accesses: int
+    elapsed_ns: float
+
+    # Translation behaviour
+    tlb_miss_rate: float = 0.0
+    tlb_misses: int = 0
+    cte_hit_rate: float = 0.0
+    cte_misses: int = 0
+    #: Figure 5: fraction of CTE misses on walk-related accesses.
+    cte_misses_after_tlb_miss: float = 0.0
+
+    # LLC / memory behaviour
+    l3_misses: int = 0
+    l3_data_misses: int = 0
+    avg_l3_miss_latency_ns: float = 0.0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    row_hit_rate: float = 0.0
+    bandwidth_utilization: float = 0.0
+
+    # Compression behaviour
+    dram_used_bytes: int = 0
+    footprint_bytes: int = 0
+    ml2_access_rate: float = 0.0
+    path_fractions: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def performance(self) -> float:
+        """Accesses per microsecond -- the relative-performance metric.
+
+        The paper reports store instructions/cycle; any monotone
+        throughput proxy works for normalized comparisons.
+        """
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.accesses / (self.elapsed_ns / 1000.0)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Footprint / DRAM used (effective-capacity gain)."""
+        if self.dram_used_bytes <= 0:
+            return 0.0
+        return self.footprint_bytes / self.dram_used_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten everything (including derived metrics) for reporting."""
+        from dataclasses import asdict
+
+        flattened = asdict(self)
+        flattened.update(
+            performance=self.performance,
+            compression_ratio=self.compression_ratio,
+            tlb_misses_per_l3_miss=self.tlb_misses_per_l3_miss,
+            cte_misses_per_l3_miss=self.cte_misses_per_l3_miss,
+        )
+        return flattened
+
+    def to_json(self, path) -> None:
+        """Write the stats record as JSON (a gem5-style stats dump)."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2,
+                                         sort_keys=True))
+
+    @classmethod
+    def from_json(cls, path) -> "SimResult":
+        """Load a previously dumped record (derived metrics recomputed)."""
+        import json
+        from pathlib import Path
+
+        data = json.loads(Path(path).read_text())
+        fields = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    @property
+    def tlb_misses_per_l3_miss(self) -> float:
+        """Figure 1's x-axis normalization for TLB misses."""
+        if self.l3_data_misses <= 0:
+            return 0.0
+        return self.tlb_misses / self.l3_data_misses
+
+    @property
+    def cte_misses_per_l3_miss(self) -> float:
+        if self.l3_misses <= 0:
+            return 0.0
+        return self.cte_misses / self.l3_misses

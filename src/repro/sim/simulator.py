@@ -1,0 +1,416 @@
+"""The trace-driven simulator.
+
+Replays one workload's access trace through the full stack:
+
+    virtual address -> TLB -> (page walk: PTB fetches through the caches,
+    with TMCC harvesting embedded CTEs) -> cache hierarchy -> compression
+    controller (CTE cache / CTE fetch / ML2 decompress / migrations) ->
+    DRAM banks and queues
+
+Latency accounting follows Section VI's spirit: on-chip cycles and DRAM
+nanoseconds accumulate per access; the wall clock advances by compute
+time plus the fraction of the memory stall the 4-wide OoO core cannot
+hide (``mlp_stall_factor``).  Absolute IPC is not claimed -- only the
+relative comparisons the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_SIZE
+from repro.core.base import MemoryController, PATH_CTE_HIT, PATH_ML2
+from repro.core.compmodel import PageCompressionModel
+from repro.core.compresso import CompressoController, CompressoLLCVictimController
+from repro.core.config import SystemConfig
+from repro.core.osinspired import (
+    OSInspiredController,
+    OSInspiredFastDeflateController,
+)
+from repro.core.tmcc import TMCCController
+from repro.core.twolevel import TwoLevelController
+from repro.core.uncompressed import UncompressedController
+from repro.dram.system import DRAMSystem
+from repro.sim.results import SimResult
+from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
+from repro.vm.tlb import TLB
+from repro.vm.walker import PageWalker
+from repro.workloads.trace import Workload
+
+CONTROLLERS: Dict[str, Type[MemoryController]] = {
+    "uncompressed": UncompressedController,
+    "compresso": CompressoController,
+    "compresso_llc_victim": CompressoLLCVictimController,
+    "osinspired": OSInspiredController,
+    "osinspired_fastml2": OSInspiredFastDeflateController,
+    "tmcc": TMCCController,
+}
+
+
+class Simulator:
+    """One workload x one memory-system configuration."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        controller: str = "tmcc",
+        system: Optional[SystemConfig] = None,
+        dram_budget_bytes: Optional[int] = None,
+        huge_pages: bool = False,
+        seed: int = 1,
+        model: Optional[PageCompressionModel] = None,
+        placement_drift: float = 0.03,
+        virtualized: bool = False,
+    ) -> None:
+        if controller not in CONTROLLERS:
+            raise ValueError(f"unknown controller {controller!r}; "
+                             f"choose from {sorted(CONTROLLERS)}")
+        if virtualized and huge_pages:
+            raise ValueError("virtualized mode models 4 KB guest pages only")
+        self.workload = workload
+        self.controller_name = controller
+        self.system = system or SystemConfig()
+        self.huge_pages = huge_pages
+        #: Run the workload inside a VM: TLB misses take 2D nested walks
+        #: through a host page table (Figure 12b); TMCC harvests embedded
+        #: CTEs from every *host* PTB fetch of each nested walk.
+        self.virtualized = virtualized
+        #: Warm-up imperfection: the paper warms ML1/ML2 with ~1 s of
+        #: atomic simulation, so placement reflects the working set *minus
+        #: a little drift* between warm-up and the measured window.  A
+        #: ``placement_drift`` fraction of warm pages start cold in ML2,
+        #: producing the residual ML2 traffic Figure 21 reports.
+        self.placement_drift = placement_drift
+        self._placement_rng = DeterministicRNG(seed ^ 0xD81F7)
+
+        # -- virtual memory setup ---------------------------------------
+        total_frames = workload.footprint_pages * 4 + 4096
+        self.allocator = FrameAllocator(total_frames, DeterministicRNG(seed))
+        self.table = PageTable(self.allocator)
+        populator = PageTablePopulator(self.table, self.allocator,
+                                       DeterministicRNG(seed + 1))
+        if huge_pages:
+            huge_count = -(-workload.footprint_pages // 512)
+            base = workload.base_vpn & ~0x1FF
+            populator.populate_huge_region(base, huge_count)
+            self._vpn_to_ppn = {}
+        else:
+            populator.populate_region(workload.base_vpn, workload.footprint_pages)
+            populator.finalize_noise()
+            self._vpn_to_ppn = dict(populator.mapped_pages)
+
+        self.tlb = TLB(entries=self.system.tlb_entries)
+        self.walker = PageWalker(self.table)
+        self.hierarchy = CacheHierarchy(self.system.cache)
+        self.dram = DRAMSystem(self.system.dram)
+
+        # -- virtualization: a host page table behind the guest's --------
+        self.host_table: Optional[PageTable] = None
+        self.nested_walker = None
+        self._gfn_to_host: Dict[int, int] = {}
+        if virtualized:
+            from repro.vm.nested import NestedPageWalker
+
+            guest_frames = sorted(
+                set(self._vpn_to_ppn.values())
+                | {page.ppn for page in self.table.table_pages()}
+            )
+            host_allocator = FrameAllocator(
+                (max(guest_frames) + 1) * 2 + 4096, DeterministicRNG(seed + 7)
+            )
+            self.host_table = PageTable(host_allocator)
+            host_populator = PageTablePopulator(
+                self.host_table, host_allocator, DeterministicRNG(seed + 8)
+            )
+            host_populator.populate_region(0, max(guest_frames) + 1)
+            host_populator.finalize_noise()
+            self._gfn_to_host = dict(host_populator.mapped_pages)
+            self.nested_walker = NestedPageWalker(self.table, self.host_table)
+
+        # -- compression model and controller ---------------------------
+        self.model = model or PageCompressionModel(
+            workload.content,
+            sample_pages=self.system.compression_samples,
+            deflate_config=self.system.deflate,
+            timing=self.system.deflate_timing,
+            ibm=self.system.ibm_timing,
+            seed=seed,
+        )
+        self.controller = CONTROLLERS[controller](self.system, self.dram, seed=seed) \
+            if controller != "uncompressed" else UncompressedController(
+                self.system, self.dram)
+
+        data_ppns, hotness = self._data_pages_and_hotness()
+        if self.virtualized:
+            # Pinned pages: the host's own table pages plus the host
+            # frames backing the guest's table pages (both are walked).
+            table_ppns = [page.ppn for page in self.host_table.table_pages()]
+            table_ppns += [
+                self._gfn_to_host[page.ppn]
+                for page in self.table.table_pages()
+                if page.ppn in self._gfn_to_host
+            ]
+        else:
+            table_ppns = [page.ppn for page in self.table.table_pages()]
+        if isinstance(self.controller, TwoLevelController):
+            self.controller.initialize(data_ppns, hotness, table_ppns,
+                                       self.model, dram_budget_bytes)
+        else:
+            self.controller.initialize(data_ppns, hotness, table_ppns, self.model)
+
+        # -- per-run counters -------------------------------------------
+        self._now_ns = 0.0
+        self._fig5_cte_misses = 0
+        self._fig5_after_tlb = 0
+        self._l3_data_misses = 0
+        self._tlb_misses = 0
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _data_pages_and_hotness(self):
+        counts: Dict[int, int] = {}
+        for vaddr, _ in self.workload.trace:
+            vpn = vaddr >> 12
+            counts[vpn] = counts.get(vpn, 0) + 1
+        ranked_vpns = sorted(counts, key=counts.get, reverse=True)
+        # Warm-up drift: a few warm pages turned cold before the measured
+        # window (or were sampled unluckily by the 1% recency updates);
+        # they start behind even the never-touched pages and hence in ML2.
+        drifted = [vpn for vpn in ranked_vpns
+                   if self._placement_rng.chance(self.placement_drift)]
+        drifted_set = set(drifted)
+
+        hotness: Dict[int, int] = {}
+        data_ppns = []
+        rank = 0
+
+        def place(vpn: int) -> None:
+            nonlocal rank
+            ppn = self._translate_vpn(vpn)
+            if ppn is None:  # trace address outside the mapped footprint
+                return
+            hotness[ppn] = rank
+            data_ppns.append(ppn)
+            rank += 1
+
+        for vpn in ranked_vpns:
+            if vpn not in drifted_set:
+                place(vpn)
+        for offset in range(self.workload.footprint_pages):
+            vpn = self.workload.base_vpn + offset
+            if vpn not in counts:
+                place(vpn)
+        for vpn in drifted:
+            place(vpn)
+        return data_ppns, hotness
+
+    def _translate_vpn(self, vpn: int) -> Optional[int]:
+        """vpn -> the *machine-physical* frame data lives in."""
+        if self.huge_pages:
+            return self.table.translate(vpn)
+        guest_ppn = self._vpn_to_ppn.get(vpn)
+        if guest_ppn is None:
+            return None
+        if self.virtualized:
+            return self._gfn_to_host.get(guest_ppn)
+        return guest_ppn
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, warmup_fraction: float = 0.2) -> SimResult:
+        """Replay the trace; statistics cover the post-warmup region."""
+        trace = self.workload.trace
+        warmup_end = int(len(trace) * warmup_fraction)
+        config = self.system
+        compute_ns = config.cycles_to_ns(self.workload.compute_cycles_per_access)
+        measured_accesses = 0
+        measure_start_ns = 0.0
+
+        for index, (vaddr, is_write) in enumerate(trace):
+            if index == warmup_end:
+                self._reset_stats()
+                measure_start_ns = self._now_ns
+            self._now_ns += compute_ns
+            stall_ns = self._one_access(vaddr, is_write)
+            self._now_ns += stall_ns * config.mlp_stall_factor
+            if index >= warmup_end:
+                measured_accesses += 1
+
+        return self._build_result(measured_accesses,
+                                  self._now_ns - measure_start_ns)
+
+    def _one_access(self, vaddr: int, is_write: bool) -> float:
+        """Serve one trace record; returns the access's stall time (ns)."""
+        config = self.system
+        vpn = vaddr >> 12
+        tag = (vpn >> 9) if self.huge_pages else vpn
+        stall_ns = 0.0
+        tlb_missed = not self.tlb.lookup(tag)
+
+        if tlb_missed:
+            self._tlb_misses += 1
+            stall_ns += self._page_walk(vpn)
+            self.tlb.fill(tag)
+
+        ppn = self._translate_vpn(vpn)
+        if ppn is None:
+            return stall_ns
+        paddr = ppn * PAGE_SIZE + (vaddr & (PAGE_SIZE - 1))
+        result = self.hierarchy.access(paddr, is_write=is_write)
+        stall_ns += config.cycles_to_ns(result.latency_cycles)
+        if result.l3_miss:
+            self._l3_data_misses += 1
+            block_index = (vaddr & (PAGE_SIZE - 1)) >> 6
+            miss = self.controller.serve_l3_miss(
+                ppn, block_index, self._now_ns + stall_ns, is_write
+            )
+            stall_ns += miss.latency_ns
+            self._track_fig5(miss.path, after_tlb=tlb_missed)
+        self._drain_writebacks(result.dram_writebacks, stall_ns)
+        return stall_ns
+
+    def _page_walk(self, vpn: int) -> float:
+        """Serve a TLB miss; returns its stall contribution."""
+        if self.virtualized:
+            return self._nested_page_walk(vpn)
+        config = self.system
+        stall_ns = 0.0
+        try:
+            walk = self.walker.walk(vpn)
+        except KeyError:
+            return 0.0
+        for level, ptb_address in walk.fetches:
+            result = self.hierarchy.access(ptb_address, is_ptb=True)
+            stall_ns += config.cycles_to_ns(result.latency_cycles)
+            if result.l3_miss:
+                miss = self.controller.serve_l3_miss(
+                    ptb_address >> 12, (ptb_address >> 6) & 63,
+                    self._now_ns + stall_ns, False,
+                )
+                stall_ns += miss.latency_ns
+                self._track_fig5(miss.path, after_tlb=True)
+            self._drain_writebacks(result.dram_writebacks, stall_ns)
+            huge_leaf = walk.huge and level == 2
+            self.controller.note_ptb_fetch(
+                level, ptb_address, self.table.ptb_at(ptb_address), huge_leaf
+            )
+        return stall_ns
+
+    def _nested_page_walk(self, vpn: int) -> float:
+        """Serve a TLB miss with a 2D walk (Figure 12b).
+
+        Every fetch -- host PTBs and guest PTBs alike -- flows through the
+        caches and the compression controller; only host PTB fetches feed
+        TMCC's CTE harvesting, per Section V-A3's 2D discussion.
+        """
+        from repro.vm.nested import HOST_FETCH
+
+        config = self.system
+        stall_ns = 0.0
+        try:
+            walk = self.nested_walker.walk(vpn)
+        except KeyError:
+            return 0.0
+        for kind, level, address in walk.fetches:
+            result = self.hierarchy.access(address, is_ptb=True)
+            stall_ns += config.cycles_to_ns(result.latency_cycles)
+            if result.l3_miss:
+                miss = self.controller.serve_l3_miss(
+                    address >> 12, (address >> 6) & 63,
+                    self._now_ns + stall_ns, False,
+                )
+                stall_ns += miss.latency_ns
+                self._track_fig5(miss.path, after_tlb=True)
+            self._drain_writebacks(result.dram_writebacks, stall_ns)
+            if kind == HOST_FETCH:
+                self.controller.note_ptb_fetch(
+                    level, address, self.host_table.ptb_at(address),
+                    huge_leaf=False,
+                )
+        return stall_ns
+
+    def _drain_writebacks(self, blocks, stall_ns: float) -> None:
+        for block in blocks:
+            self.controller.serve_writeback(
+                block >> 6, block & 63, self._now_ns + stall_ns
+            )
+
+    def _track_fig5(self, path: str, after_tlb: bool) -> None:
+        if path in (PATH_CTE_HIT,):
+            return
+        # PATH_ML2 accesses also consulted the CTE path; only count real
+        # CTE-cache misses, which every non-hit path represents.
+        self._fig5_cte_misses += 1
+        if after_tlb:
+            self._fig5_after_tlb += 1
+
+    # ------------------------------------------------------------------
+    # Statistics plumbing
+    # ------------------------------------------------------------------
+
+    def _reset_stats(self) -> None:
+        self.tlb.stats.reset()
+        self.walker.pwc.stats.reset()
+        self.walker.walks.reset()
+        self.walker.ptb_fetches.reset()
+        self.hierarchy.l1.stats.reset()
+        self.hierarchy.l2.stats.reset()
+        self.hierarchy.l3.stats.reset()
+        self.dram.stats.reset()
+        self.controller.stats.reset()
+        if hasattr(self.controller, "cte_cache"):
+            self.controller.cte_cache.stats.reset()
+        if hasattr(self.controller, "migration"):
+            self.controller.migration.stalls.reset()
+            self.controller.migration.stall_ns.reset()
+        self._fig5_cte_misses = 0
+        self._fig5_after_tlb = 0
+        self._l3_data_misses = 0
+        self._tlb_misses = 0
+
+    def _build_result(self, accesses: int, elapsed_ns: float) -> SimResult:
+        controller = self.controller
+        stats = controller.stats
+        cte_hit_rate = getattr(controller, "cte_hit_rate", 1.0)
+        cte_misses = 0
+        if hasattr(controller, "cte_cache"):
+            cte_misses = controller.cte_cache.stats.misses
+        result = SimResult(
+            workload=self.workload.name,
+            controller=self.controller_name,
+            accesses=accesses,
+            elapsed_ns=elapsed_ns,
+            tlb_miss_rate=self.tlb.stats.miss_rate,
+            tlb_misses=self._tlb_misses,
+            cte_hit_rate=cte_hit_rate,
+            cte_misses=cte_misses,
+            cte_misses_after_tlb_miss=(
+                self._fig5_after_tlb / self._fig5_cte_misses
+                if self._fig5_cte_misses else 0.0
+            ),
+            l3_misses=stats.counter("l3_misses").value,
+            l3_data_misses=self._l3_data_misses,
+            avg_l3_miss_latency_ns=controller.average_miss_latency_ns,
+            dram_reads=self.dram.stats.counter("reads").value,
+            dram_writes=self.dram.stats.counter("writes").value,
+            row_hit_rate=self.dram.row_hit_rate,
+            bandwidth_utilization=self.dram.bandwidth_utilization(
+                max(1.0, elapsed_ns)
+            ),
+            dram_used_bytes=controller.dram_used_bytes(),
+            footprint_bytes=self.workload.footprint_pages * PAGE_SIZE,
+            path_fractions=controller.path_fractions(),
+        )
+        if isinstance(controller, TwoLevelController):
+            result.ml2_access_rate = controller.ml2_access_rate()
+            result.extra["ml1_pages"] = controller.ml1_page_count
+            result.extra["ml2_pages"] = controller.ml2_page_count
+        if isinstance(controller, TMCCController):
+            result.extra["embedded_coverage"] = controller.embedded_coverage
+        return result

@@ -1,0 +1,56 @@
+"""Virtual-memory substrate: x86-64-style paging structures.
+
+- :mod:`repro.vm.pte` -- PTE bit layout (24 status bits + 40-bit PPN).
+- :mod:`repro.vm.pagetable` -- 4-level radix page table, the populator that
+  fills it the way an OS would, and the Figure 6 PTB statistics.
+- :mod:`repro.vm.ptbcodec` -- the hardware compressed-PTB encoding of
+  Figure 7, including embedded-CTE slots (Section V-A5).
+- :mod:`repro.vm.tlb` -- TLB and page-walk caches.
+- :mod:`repro.vm.walker` -- the page walker that turns a TLB miss into the
+  sequence of PTB fetches the memory hierarchy must serve.
+"""
+
+from repro.vm.pte import (
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_NX,
+    make_pte,
+    pte_ppn,
+    pte_status,
+    pte_present,
+)
+from repro.vm.pagetable import (
+    PageTable,
+    PageTablePopulator,
+    FrameAllocator,
+    PTBStatusStats,
+    ptb_status_stats,
+)
+from repro.vm.ptbcodec import PTBCodec, CompressedPTB
+from repro.vm.tlb import TLB, PageWalkCache
+from repro.vm.walker import PageWalker, WalkResult
+
+__all__ = [
+    "PTE_PRESENT",
+    "PTE_WRITABLE",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PTE_NX",
+    "make_pte",
+    "pte_ppn",
+    "pte_status",
+    "pte_present",
+    "PageTable",
+    "PageTablePopulator",
+    "FrameAllocator",
+    "PTBStatusStats",
+    "ptb_status_stats",
+    "PTBCodec",
+    "CompressedPTB",
+    "TLB",
+    "PageWalkCache",
+    "PageWalker",
+    "WalkResult",
+]

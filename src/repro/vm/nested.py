@@ -1,0 +1,92 @@
+"""2D (nested) page walks for virtual machines (Figure 12b).
+
+Under virtualization a guest virtual address takes a two-dimensional walk:
+each guest page-table access is itself a *guest-physical* address that the
+host page table must translate, so a cold 4-level guest walk costs up to
+``5 x 4 + 4 = 24`` memory accesses (four host walks for the guest PTBs,
+one for the final data, plus the guest PTBs themselves).
+
+TMCC's observation: every one of those host walks uses ordinary host PTBs,
+so embedded CTEs accelerate each of them exactly like a native walk -- the
+controller's :meth:`note_ptb_fetch` is called for every host PTB here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.stats import Counter
+from repro.common.units import PAGE_SIZE
+from repro.vm.pagetable import PageTable
+from repro.vm.tlb import PageWalkCache
+from repro.vm.walker import PageWalker
+
+#: Tags distinguishing who issued each PTB fetch of a 2D walk.
+HOST_FETCH = "host"
+GUEST_FETCH = "guest"
+
+
+@dataclass(frozen=True)
+class NestedWalkResult:
+    """Outcome of one 2D walk.
+
+    ``fetches`` lists every memory access in order: ``(kind, level,
+    host-physical address)`` where kind is ``"host"`` for host PTB fetches
+    (TMCC harvests CTEs from these) and ``"guest"`` for guest PTB fetches
+    (which live in host frames and also carry host CTE translations).
+    ``host_ppn`` is the final translation of the guest virtual page.
+    """
+
+    fetches: Tuple[Tuple[str, int, int], ...]
+    guest_ppn: int
+    host_ppn: int
+
+
+class NestedPageWalker:
+    """Walks a guest :class:`PageTable` through a host :class:`PageTable`.
+
+    The host side reuses :class:`PageWalker` (including its page-walk
+    cache); a small "nested TLB" of guest-physical -> host-physical
+    translations models the gPA caches real MMUs keep, bounding the
+    explosion of host walks for hot guest table pages.
+    """
+
+    def __init__(self, guest_table: PageTable, host_table: PageTable,
+                 host_pwc: Optional[PageWalkCache] = None) -> None:
+        self.guest_table = guest_table
+        self.host_table = host_table
+        self.host_walker = PageWalker(host_table, host_pwc)
+        self.walks = Counter("nested_walks")
+        self.total_fetches = Counter("nested_fetches")
+
+    def _host_translate(self, gpa: int,
+                        fetches: List[Tuple[str, int, int]]) -> int:
+        """Translate a guest-physical address via a host walk."""
+        result = self.host_walker.walk(gpa >> 12)
+        for level, address in result.fetches:
+            fetches.append((HOST_FETCH, level, address))
+        return result.ppn * PAGE_SIZE + (gpa & (PAGE_SIZE - 1))
+
+    def walk(self, guest_vpn: int) -> NestedWalkResult:
+        """Perform the full 2D walk for one guest virtual page."""
+        self.walks.increment()
+        fetches: List[Tuple[str, int, int]] = []
+        guest_path = self.guest_table.walk_path(guest_vpn)
+        for level, guest_ptb_gpa, _pte in guest_path:
+            host_address = self._host_translate(guest_ptb_gpa, fetches)
+            fetches.append((GUEST_FETCH, level, host_address))
+        guest_ppn = self.guest_table.translate(guest_vpn)
+        if guest_ppn is None:
+            raise KeyError(f"guest vpn {guest_vpn:#x} not mapped")
+        data_host_address = self._host_translate(guest_ppn * PAGE_SIZE, fetches)
+        self.total_fetches.increment(len(fetches))
+        return NestedWalkResult(
+            fetches=tuple(fetches),
+            guest_ppn=guest_ppn,
+            host_ppn=data_host_address // PAGE_SIZE,
+        )
+
+    @property
+    def host_ptb_fetch_count(self) -> int:
+        return self.host_walker.ptb_fetches.value

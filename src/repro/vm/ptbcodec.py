@@ -1,0 +1,148 @@
+"""Hardware compressed-PTB encoding (Figure 7, Sections V-A2/A5).
+
+A 64 B page-table block holds eight PTEs.  When all eight share identical
+status bits, and the leading PPN bits above the machine's reachable frame
+space are identical, the PTB compresses: status bits stored once, PPNs
+truncated, and the freed space holds *embedded CTEs* -- truncated
+physical-to-DRAM translations for the eight pages the PTEs point to.
+
+Capacity math follows Section V-A5 exactly.  Each truncated CTE needs
+``log2(dram_bytes / 4KB)`` bits; the OS may be booted with up to 4x the
+DRAM as physical address space, so truncated PPNs need two more bits than
+CTEs.  With 1 TB per memory controller that yields 8 embeddable CTEs,
+7 at 4 TB, and 6 at 16 TB -- the numbers the paper quotes.
+
+Decompression is "~1 cycle; only wiring to concatenate plaintext": the
+functional inverse here simply reassembles the eight PTEs; embedded CTEs
+are invisible to software (L2 always hands L1 a decompressed copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.units import BLOCK_SIZE, GIB, PTES_PER_PTB, TIB
+from repro.vm.pte import pte_ppn, pte_status, pte_with_ppn, status_to_fields
+from repro.vm.pte import make_pte
+
+#: Bits in one PTB.
+PTB_BITS = BLOCK_SIZE * 8  # 512
+#: Status bits stored once per compressed PTB.
+STATUS_BITS = 24
+
+
+@dataclass
+class CompressedPTB:
+    """A PTB in the hardware-compressed encoding.
+
+    ``cte_slots[i]`` is the embedded (truncated) CTE for the page that
+    PTE ``i`` points to, or ``None`` when the slot is empty/not available.
+    Hardware writes these lazily (Section V-A3); a fresh compression leaves
+    them empty.
+    """
+
+    status: int
+    ppn_high: int  # the identical leading PPN bits, stored once
+    truncated_ppns: List[int]
+    cte_slots: List[Optional[int]] = field(default_factory=lambda: [None] * PTES_PER_PTB)
+    cte_capacity: int = PTES_PER_PTB
+
+    def embedded_cte_for_ppn(self, ppn: int, ppn_bits: int) -> Optional[int]:
+        """Look up the embedded CTE for a full PPN, if this PTB has one."""
+        low_mask = (1 << ppn_bits) - 1
+        for index, truncated in enumerate(self.truncated_ppns):
+            if truncated == (ppn & low_mask) and index < self.cte_capacity:
+                return self.cte_slots[index]
+        return None
+
+    def set_cte_for_ppn(self, ppn: int, ppn_bits: int, cte: Optional[int]) -> bool:
+        """Install/update the embedded CTE for ``ppn``; False if no slot."""
+        low_mask = (1 << ppn_bits) - 1
+        for index, truncated in enumerate(self.truncated_ppns):
+            if truncated == (ppn & low_mask):
+                if index >= self.cte_capacity:
+                    return False
+                self.cte_slots[index] = cte
+                return True
+        return False
+
+
+class PTBCodec:
+    """Compress/decompress PTBs for a given machine size.
+
+    ``dram_bytes`` is the DRAM reachable by one memory controller;
+    ``expansion_factor`` is how many OS physical pages exist per DRAM page
+    (the paper assumes the OS boots with up to 4x physical memory).
+    """
+
+    def __init__(self, dram_bytes: int = 1 * TIB, expansion_factor: int = 4) -> None:
+        if dram_bytes < GIB:
+            raise ValueError("dram_bytes must be at least 1 GiB")
+        if expansion_factor < 1:
+            raise ValueError("expansion_factor must be >= 1")
+        self.dram_bytes = dram_bytes
+        self.expansion_factor = expansion_factor
+        #: Bits of one truncated CTE: identifies a 4 KB range of DRAM.
+        self.cte_bits = (dram_bytes // 4096 - 1).bit_length()
+        #: Bits of one truncated PPN: OS frame space is expansion_factor x DRAM.
+        self.ppn_bits = (dram_bytes * expansion_factor // 4096 - 1).bit_length()
+
+    @property
+    def embeddable_ctes(self) -> int:
+        """How many CTEs fit beside the truncated PTEs (Section V-A5)."""
+        free_bits = PTB_BITS - STATUS_BITS - PTES_PER_PTB * self.ppn_bits
+        return max(0, min(PTES_PER_PTB, free_bits // self.cte_bits))
+
+    def compressible(self, ptes: List[int]) -> bool:
+        """A PTB compresses when status bits and leading PPN bits agree."""
+        if len(ptes) != PTES_PER_PTB:
+            raise ValueError(f"a PTB holds {PTES_PER_PTB} PTEs, got {len(ptes)}")
+        statuses = {pte_status(p) for p in ptes}
+        if len(statuses) != 1:
+            return False
+        highs = {pte_ppn(p) >> self.ppn_bits for p in ptes}
+        return len(highs) == 1
+
+    def compress(self, ptes: List[int]) -> Optional[CompressedPTB]:
+        """Compress; ``None`` when the PTB does not qualify."""
+        if not self.compressible(ptes):
+            return None
+        low_mask = (1 << self.ppn_bits) - 1
+        return CompressedPTB(
+            status=pte_status(ptes[0]),
+            ppn_high=pte_ppn(ptes[0]) >> self.ppn_bits,
+            truncated_ppns=[pte_ppn(p) & low_mask for p in ptes],
+            cte_slots=[None] * PTES_PER_PTB,
+            cte_capacity=self.embeddable_ctes,
+        )
+
+    def decompress(self, compressed: CompressedPTB) -> List[int]:
+        """Reassemble the eight software-visible PTEs (CTEs dropped)."""
+        low, high = status_to_fields(compressed.status)
+        ptes = []
+        for truncated in compressed.truncated_ppns:
+            ppn = (compressed.ppn_high << self.ppn_bits) | truncated
+            ptes.append(make_pte(ppn, low, high))
+        return ptes
+
+    def merge_software_update(
+        self, compressed: CompressedPTB, new_ptes: List[int]
+    ) -> Optional[CompressedPTB]:
+        """Apply an OS write to a compressed PTB, preserving embedded CTEs.
+
+        Models L2's dirty-eviction path (Section V-A4): when the OS
+        modifies a PTB (e.g. remaps a page), hardware re-checks
+        compressibility and carries over embedded CTEs for PPNs that did
+        not change.  Returns ``None`` when the new content no longer
+        compresses (the PTB reverts to the uncompressed encoding).
+        """
+        fresh = self.compress(new_ptes)
+        if fresh is None:
+            return None
+        for index, (old_trunc, new_trunc) in enumerate(
+            zip(compressed.truncated_ppns, fresh.truncated_ppns)
+        ):
+            if old_trunc == new_trunc and compressed.ppn_high == fresh.ppn_high:
+                fresh.cte_slots[index] = compressed.cte_slots[index]
+        return fresh

@@ -1,0 +1,77 @@
+"""Page-table entry bit layout.
+
+Per the paper (Section V-A1) and the Intel SDM figure it cites, each 8 B PTE
+carries a 40-bit physical page number (bits 12..51) plus 24 status bits: the
+low 12 (present, writable, user, PWT, PCD, accessed, dirty, PAT, global,
+3 ignored) and the high 12 (11 ignored/software + NX).  The compressed-PTB
+observation (Figure 6) is that adjacent PTEs almost always share all 24.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import extract_bits, insert_bits, mask
+
+# Low status bits (bit positions in the PTE).
+PTE_PRESENT = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_USER = 1 << 2
+PTE_PWT = 1 << 3
+PTE_PCD = 1 << 4
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+PTE_PAT = 1 << 7
+PTE_GLOBAL = 1 << 8
+
+#: NX lives in bit 63; in our 24-bit "status" view it is the top bit.
+PTE_NX = 1 << 63
+
+#: Bit positions of the PPN field.
+PPN_LOW = 12
+PPN_BITS = 40
+
+#: Common status for ordinary present+writable+accessed data pages.
+STATUS_DEFAULT_DATA = PTE_PRESENT | PTE_WRITABLE | PTE_USER | PTE_ACCESSED
+#: Common status for read-only text pages.
+STATUS_READONLY = PTE_PRESENT | PTE_USER | PTE_ACCESSED
+
+
+def make_pte(ppn: int, status_low: int = STATUS_DEFAULT_DATA, status_high: int = 0) -> int:
+    """Assemble a PTE from a PPN and the 12 low / 12 high status bits."""
+    if ppn >> PPN_BITS:
+        raise ValueError(f"PPN {ppn:#x} does not fit in {PPN_BITS} bits")
+    if status_low >> 12:
+        raise ValueError(f"low status {status_low:#x} does not fit in 12 bits")
+    if status_high >> 12:
+        raise ValueError(f"high status {status_high:#x} does not fit in 12 bits")
+    return status_low | (ppn << PPN_LOW) | (status_high << 52)
+
+
+def pte_ppn(pte: int) -> int:
+    """Physical page number stored in ``pte``."""
+    return extract_bits(pte, PPN_LOW, PPN_BITS)
+
+
+def pte_with_ppn(pte: int, ppn: int) -> int:
+    """Return ``pte`` with its PPN replaced (status bits preserved)."""
+    return insert_bits(pte, PPN_LOW, PPN_BITS, ppn)
+
+
+def pte_status(pte: int) -> int:
+    """The 24 status bits as one value: high 12 << 12 | low 12."""
+    return (extract_bits(pte, 52, 12) << 12) | extract_bits(pte, 0, 12)
+
+
+def pte_present(pte: int) -> bool:
+    return bool(pte & PTE_PRESENT)
+
+
+def pte_set_flags(pte: int, flags: int) -> int:
+    """OR low-12 status flags into the PTE (e.g. mark accessed/dirty)."""
+    if flags >> 12:
+        raise ValueError("pte_set_flags only touches the low 12 status bits")
+    return pte | flags
+
+
+def status_to_fields(status: int) -> tuple:
+    """Split a 24-bit status value back into (low 12, high 12)."""
+    return status & mask(12), (status >> 12) & mask(12)

@@ -1,0 +1,62 @@
+"""Page walker: turns a TLB miss into the PTB fetches a walk performs.
+
+The walker consults the page-walk cache to skip upper levels, then emits
+the (level, PTB physical address) pairs it must read from the memory
+hierarchy.  The simulator replays those reads through the caches and the
+memory controller -- the path where TMCC's embedded CTEs earn their keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.stats import Counter
+from repro.vm.pagetable import PageTable
+from repro.vm.tlb import PageWalkCache
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of one page walk.
+
+    ``fetches`` lists the PTB reads issued to the memory hierarchy, root
+    first.  ``pte`` is the leaf (or huge-leaf) translation found, and
+    ``ppn`` the translated frame.  ``huge`` marks a 2 MiB mapping.
+    """
+
+    fetches: Tuple[Tuple[int, int], ...]
+    pte: int
+    ppn: int
+    huge: bool
+
+
+class PageWalker:
+    """Walks a concrete :class:`PageTable` through a :class:`PageWalkCache`."""
+
+    def __init__(self, table: PageTable, pwc: Optional[PageWalkCache] = None) -> None:
+        self.table = table
+        self.pwc = pwc or PageWalkCache()
+        self.walks = Counter("walks")
+        self.ptb_fetches = Counter("ptb_fetches")
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Perform a full walk for ``vpn``; raises ``KeyError`` if unmapped."""
+        self.walks.increment()
+        path = self.table.walk_path(vpn)  # [(level, ptb_addr, pte), ...]
+        start_level = self.pwc.first_fetch_level(vpn)
+        fetches: List[Tuple[int, int]] = [
+            (level, address) for level, address, _ in path if level <= start_level
+        ]
+        self.ptb_fetches.increment(len(fetches))
+        self.pwc.fill(vpn)
+        final_level, _, pte = path[-1]
+        huge = final_level == 2
+        from repro.vm.pte import pte_ppn
+
+        return WalkResult(
+            fetches=tuple(fetches),
+            pte=pte,
+            ppn=pte_ppn(pte),
+            huge=huge,
+        )

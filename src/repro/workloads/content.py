@@ -1,0 +1,150 @@
+"""Page-content synthesizers.
+
+Every workload needs bytes behind its pages so the compression engines
+have something real to chew on.  Each profile mixes four ingredients whose
+proportions control where a page lands on the compressibility spectrum:
+
+- ``zero``: zero words (partial zero runs; fully-zero pages are excluded
+  from ratio measurements, as in the paper's methodology),
+- ``vocab``: multi-byte values drawn from a small working vocabulary
+  (pointers to hot objects, hub vertex ids, dictionary words).  These
+  repeat at page scale, which LZ captures but 64 B block compressors
+  cannot see -- the mechanism behind Figure 15's block-vs-Deflate gap,
+- ``delta``: arithmetic sequences (array indices, adjacent pointers) that
+  even block-level BDI handles,
+- ``random``: incompressible bytes (hashes, floats' mantissas).
+
+Profiles are calibrated so each workload family's measured ratios land in
+the paper's ranges (Table IV columns D/E, Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ContentProfile:
+    """Ingredient mix for one workload family (fractions sum to <= 1;
+    the remainder is random bytes).
+
+    Vocabulary words are individually high-entropy (six of their eight
+    bytes are random), so a 64 B block of distinct vocab words defeats
+    BDI/C-Pack/BPC; redundancy only appears when the same word *recurs*
+    within the page, which the 1 KB-window LZ captures.  That asymmetry is
+    the measured Figure 15 gap (block 1.51x vs Deflate 3.4x geomean).
+    """
+
+    zero: float
+    vocab: float
+    delta: float
+    #: Probability of copying a run of earlier words from > 64 B away:
+    #: pure page-scale redundancy, invisible to block compressors but
+    #: inside the 1 KB LZ window (records, duplicated sub-objects...).
+    repeat: float = 0.0
+    vocab_size: int = 512
+    word_size: int = 8
+    #: Zipf exponent for vocabulary draws: higher = hotter head = more
+    #: page-scale repetition = better LZ ratio.
+    vocab_skew: float = 1.0
+    #: Two high bytes shared by vocab values (pointer-style realism).
+    vocab_base: int = 0x5555
+
+
+#: Per-family profiles.  Calibration targets (our Deflate / block-level):
+#:   graph    ~3.0x / ~1.3x   (Table IV cols E/D for GraphBIG)
+#:   mcf      ~2.5x / ~1.1x
+#:   omnetpp  ~2.5x / ~1.6x
+#:   canneal  ~1.5x / ~1.15x
+#:   small    ~3-4x / ~1.5x   (blackscholes-style streaming data)
+CONTENT_PROFILES: Dict[str, ContentProfile] = {
+    "graph": ContentProfile(zero=0.15, vocab=0.33, delta=0.12, repeat=0.20,
+                            vocab_size=700, vocab_skew=1.05),
+    "mcf": ContentProfile(zero=0.05, vocab=0.52, delta=0.03, repeat=0.22,
+                          vocab_size=1600, vocab_skew=1.0,
+                          vocab_base=0x7F2A),
+    "omnetpp": ContentProfile(zero=0.20, vocab=0.42, delta=0.15, repeat=0.18,
+                              vocab_size=500, vocab_skew=1.1),
+    "canneal": ContentProfile(zero=0.08, vocab=0.40, delta=0.05, repeat=0.09,
+                              vocab_size=4000, vocab_skew=0.8),
+    "small": ContentProfile(zero=0.10, vocab=0.45, delta=0.05, repeat=0.34,
+                            vocab_size=220, vocab_skew=1.15),
+    "rocksdb": ContentProfile(zero=0.06, vocab=0.48, delta=0.05, repeat=0.26,
+                              vocab_size=600, vocab_skew=1.05),
+    "stream": ContentProfile(zero=0.06, vocab=0.40, delta=0.22, repeat=0.22,
+                             vocab_size=250, vocab_skew=1.1),
+}
+
+
+class ContentSynthesizer:
+    """Deterministic vpn -> 4 KB content for one workload."""
+
+    def __init__(self, profile: str, seed: int = 0) -> None:
+        if profile not in CONTENT_PROFILES:
+            raise ValueError(f"unknown content profile {profile!r}; "
+                             f"choose from {sorted(CONTENT_PROFILES)}")
+        self.profile_name = profile
+        self.profile = CONTENT_PROFILES[profile]
+        self.seed = seed
+        self._vocab = self._build_vocab()
+
+    def _build_vocab(self) -> list:
+        rng = DeterministicRNG(self.seed * 77_003 + 5)
+        profile = self.profile
+        words = []
+        for _ in range(profile.vocab_size):
+            low = rng.randint(0, (1 << 48) - 1)  # six high-entropy bytes
+            value = (profile.vocab_base << 48) | low
+            words.append(value.to_bytes(profile.word_size, "little"))
+        return words
+
+    def page(self, vpn: int) -> bytes:
+        """Generate the contents of virtual page ``vpn``."""
+        profile = self.profile
+        rng = DeterministicRNG((self.seed << 40) ^ (vpn * 2_654_435_761))
+        word_size = profile.word_size
+        words_per_page = PAGE_SIZE // word_size
+        out = bytearray()
+        zero_word = bytes(word_size)
+        i = 0
+        while i < words_per_page:
+            roll = rng.random()
+            if roll < profile.zero:
+                run = min(rng.randint(1, 4), words_per_page - i)
+                out += zero_word * run
+                i += run
+            elif roll < profile.zero + profile.vocab:
+                # Zipf-pick from the vocabulary: hot values repeat a lot.
+                index = rng.zipf_index(len(self._vocab), profile.vocab_skew)
+                out += self._vocab[index]
+                i += 1
+            elif roll < profile.zero + profile.vocab + profile.delta:
+                run = min(rng.randint(3, 8), words_per_page - i)
+                start = rng.randint(0, (1 << 40) - 1)
+                stride = rng.choice([1, 8, 64, 4096])
+                for j in range(run):
+                    out += (start + j * stride).to_bytes(word_size, "little")
+                i += run
+            elif (roll < profile.zero + profile.vocab + profile.delta
+                  + profile.repeat and i > 16):
+                # Copy an earlier run from beyond block distance but
+                # within the LZ window (64 B < distance <= ~1 KB).
+                max_back = min(i, 120)
+                distance = rng.randint(9, max(10, max_back))
+                run = min(rng.randint(2, 8), distance, words_per_page - i)
+                start_byte = (i - distance) * word_size
+                out += out[start_byte : start_byte + run * word_size]
+                i += run
+            else:
+                out += rng.bytes(word_size)
+                i += 1
+        return bytes(out[:PAGE_SIZE])
+
+
+def synthesizer_for(profile: str, seed: int = 0) -> Callable[[int], bytes]:
+    """Convenience: a vpn -> bytes callable for :class:`Workload`."""
+    return ContentSynthesizer(profile, seed).page

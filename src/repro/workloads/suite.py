@@ -1,0 +1,74 @@
+"""The paper's main workload suite (Figures 1, 2, 16-21, Table IV).
+
+Twelve large and/or irregular workloads: nine GraphBIG kernels, mcf,
+omnetpp, and canneal.  ``paper_workloads`` builds them all with one seed
+and consistent scaling knobs so every benchmark harness sees the same
+traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.generators import (
+    canneal_workload,
+    mcf_workload,
+    omnetpp_workload,
+)
+from repro.workloads.graphs import GRAPH_KERNELS, graph_workload
+from repro.workloads.trace import Workload
+
+#: Order matches the paper's figures.
+PAPER_WORKLOAD_NAMES = (
+    "pageRank", "graphCol", "connComp", "degCentr", "shortestPath",
+    "bfs", "dfs", "kcore", "triCount", "mcf", "omnetpp", "canneal",
+)
+
+
+def workload_by_name(
+    name: str,
+    max_accesses: int = 120_000,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> Workload:
+    """Build one paper workload.  ``scale`` shrinks footprints/traces for
+    quick tests (1.0 = benchmark-default sizes)."""
+    accesses = max(1_000, int(max_accesses * scale))
+    if name in GRAPH_KERNELS:
+        return graph_workload(
+            name,
+            num_vertices=max(5_000, int(400_000 * scale)),
+            max_accesses=accesses,
+            seed=seed,
+        )
+    if name == "mcf":
+        return mcf_workload(
+            footprint_pages=max(500, int(24_000 * scale)),
+            max_accesses=accesses, seed=seed + 1,
+        )
+    if name == "omnetpp":
+        return omnetpp_workload(
+            footprint_pages=max(300, int(8_000 * scale)),
+            max_accesses=accesses, seed=seed + 2,
+        )
+    if name == "canneal":
+        return canneal_workload(
+            footprint_pages=max(500, int(20_000 * scale)),
+            max_accesses=accesses, seed=seed + 3,
+        )
+    raise ValueError(f"unknown workload {name!r}; "
+                     f"choose from {PAPER_WORKLOAD_NAMES}")
+
+
+def paper_workloads(
+    names: Optional[List[str]] = None,
+    max_accesses: int = 120_000,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> Dict[str, Workload]:
+    """Build the full suite (or a named subset)."""
+    selected = names or list(PAPER_WORKLOAD_NAMES)
+    return {
+        name: workload_by_name(name, max_accesses, seed, scale)
+        for name in selected
+    }

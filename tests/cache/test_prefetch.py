@@ -1,0 +1,108 @@
+"""Unit tests for the prefetchers."""
+
+from repro.cache.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+# ----------------------------------------------------------------------
+# Next-line
+# ----------------------------------------------------------------------
+
+def test_next_line_prefetches_block_plus_one():
+    prefetcher = NextLinePrefetcher()
+    assert prefetcher.on_miss(100) == [101]
+
+
+def test_next_line_turns_off_when_useless():
+    prefetcher = NextLinePrefetcher(window=16, min_accuracy=0.5)
+    # Misses all over the place; none of the prefetched blocks are used.
+    block = 0
+    for i in range(200):
+        block += 1000
+        prefetcher.on_miss(block)
+    assert not prefetcher.enabled
+
+
+def test_next_line_stays_on_for_sequential_streams():
+    prefetcher = NextLinePrefetcher(window=16, min_accuracy=0.5)
+    block = 0
+    for _ in range(200):
+        prefetcher.train_demand(block)
+        prefetcher.on_miss(block)
+        block += 1  # the next demand hits the previous prefetch
+    assert prefetcher.enabled
+
+
+def test_next_line_reenables_after_cooloff():
+    prefetcher = NextLinePrefetcher(window=8, min_accuracy=0.9)
+    block = 0
+    for _ in range(200):
+        if not prefetcher.enabled:
+            break
+        block += 999
+        prefetcher.on_miss(block)
+    assert not prefetcher.enabled
+    for _ in range(8):  # one cool-off window of further misses
+        block += 999
+        prefetcher.on_miss(block)
+    assert prefetcher.enabled
+
+
+# ----------------------------------------------------------------------
+# Stride
+# ----------------------------------------------------------------------
+
+def test_stride_needs_two_confirmations():
+    prefetcher = StridePrefetcher(degree=2)
+    assert prefetcher.on_access(10) == []
+    assert prefetcher.on_access(12) == []       # stride learned, unconfirmed
+    assert prefetcher.on_access(14) == [16, 18]  # confirmed
+
+
+def test_stride_handles_negative_strides():
+    prefetcher = StridePrefetcher(degree=1)
+    prefetcher.on_access(100)
+    prefetcher.on_access(98)
+    assert prefetcher.on_access(96) == [94]
+
+
+def test_stride_resets_on_stride_change():
+    prefetcher = StridePrefetcher(degree=2)
+    prefetcher.on_access(10)
+    prefetcher.on_access(12)
+    prefetcher.on_access(14)
+    assert prefetcher.on_access(20) == []  # stride broke
+
+
+def test_stride_tracks_regions_independently():
+    prefetcher = StridePrefetcher(degree=1)
+    region_a = 0
+    region_b = 1 << 10  # different 4 KB region
+    prefetcher.on_access(region_a + 0)
+    prefetcher.on_access(region_b + 0)
+    prefetcher.on_access(region_a + 2)
+    prefetcher.on_access(region_b + 3)
+    assert prefetcher.on_access(region_a + 4) == [region_a + 6]
+    assert prefetcher.on_access(region_b + 6) == [region_b + 9]
+
+
+def test_stride_table_eviction():
+    prefetcher = StridePrefetcher(degree=1, table_entries=2)
+    for region in range(8):
+        prefetcher.on_access(region << 6)
+    # Oldest regions evicted; re-touching one starts training over.
+    assert prefetcher.on_access((0 << 6) + 1) == []
+
+
+def test_stride_never_prefetches_negative_blocks():
+    prefetcher = StridePrefetcher(degree=4)
+    prefetcher.on_access(8)
+    prefetcher.on_access(5)
+    result = prefetcher.on_access(2)
+    assert all(block >= 0 for block in result)
+
+
+def test_stride_degree_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        StridePrefetcher(degree=0)

@@ -1,0 +1,92 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.common.units import KIB
+
+
+def test_geometry():
+    cache = SetAssociativeCache(64 * KIB, 8, "l1")
+    assert cache.num_sets == 128
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1000, 8)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(3 * 64 * 4, 4)  # 3 sets: not a power of two
+
+
+def test_miss_then_hit():
+    cache = SetAssociativeCache(4 * KIB, 4)
+    assert cache.lookup(10) is None
+    cache.fill(10)
+    assert cache.lookup(10) is not None
+    assert cache.stats.hits == 1
+    assert cache.stats.total == 2
+
+
+def test_lru_eviction_within_set():
+    cache = SetAssociativeCache(2 * 64 * 2, 2)  # 2 sets, 2 ways
+    # Blocks 0, 2, 4 map to set 0.
+    cache.fill(0)
+    cache.fill(2)
+    cache.lookup(0)  # 0 becomes MRU
+    victim = cache.fill(4)
+    assert victim is not None
+    assert victim.block == 2
+    assert cache.contains(0)
+    assert not cache.contains(2)
+
+
+def test_write_sets_dirty():
+    cache = SetAssociativeCache(4 * KIB, 4)
+    cache.fill(5)
+    assert not cache.peek(5).dirty
+    cache.lookup(5, is_write=True)
+    assert cache.peek(5).dirty
+
+
+def test_fill_merges_flags():
+    cache = SetAssociativeCache(4 * KIB, 4)
+    cache.fill(7, dirty=True)
+    cache.fill(7, dirty=False, compressed=True)
+    line = cache.peek(7)
+    assert line.dirty  # dirty is sticky
+    assert line.compressed
+
+
+def test_peek_has_no_side_effects():
+    cache = SetAssociativeCache(2 * 64 * 2, 2)
+    cache.fill(0)
+    cache.fill(2)
+    cache.peek(0)  # must NOT refresh recency
+    victim = cache.fill(4)
+    assert victim.block == 0
+
+
+def test_invalidate():
+    cache = SetAssociativeCache(4 * KIB, 4)
+    cache.fill(9, dirty=True)
+    line = cache.invalidate(9)
+    assert line.dirty
+    assert not cache.contains(9)
+    assert cache.invalidate(9) is None
+
+
+def test_flush_returns_dirty_lines():
+    cache = SetAssociativeCache(4 * KIB, 4)
+    cache.fill(1, dirty=True)
+    cache.fill(2, dirty=False)
+    dirty = cache.flush()
+    assert [line.block for line in dirty] == [1]
+    assert cache.occupancy == 0
+
+
+def test_different_sets_do_not_conflict():
+    cache = SetAssociativeCache(2 * 64 * 1, 1)  # 2 sets, direct-mapped
+    cache.fill(0)  # set 0
+    cache.fill(1)  # set 1
+    assert cache.contains(0)
+    assert cache.contains(1)

@@ -1,0 +1,55 @@
+"""Unit tests for the deterministic RNG wrapper."""
+
+from repro.common.rng import DeterministicRNG
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(42)
+    b = DeterministicRNG(42)
+    assert [a.randint(0, 1000) for _ in range(20)] == [
+        b.randint(0, 1000) for _ in range(20)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic_and_independent():
+    parent_a = DeterministicRNG(7)
+    parent_b = DeterministicRNG(7)
+    child_a = parent_a.fork(1)
+    child_b = parent_b.fork(1)
+    assert child_a.randint(0, 10**9) == child_b.randint(0, 10**9)
+    # Consuming the child does not perturb the parent stream.
+    assert parent_a.randint(0, 10**9) == parent_b.randint(0, 10**9)
+
+
+def test_chance_extremes():
+    rng = DeterministicRNG(3)
+    assert all(rng.chance(1.0) for _ in range(10))
+    assert not any(rng.chance(0.0) for _ in range(10))
+
+
+def test_bytes_length_and_determinism():
+    assert DeterministicRNG(5).bytes(32) == DeterministicRNG(5).bytes(32)
+    assert len(DeterministicRNG(5).bytes(100)) == 100
+
+
+def test_zipf_index_in_range_and_skewed():
+    rng = DeterministicRNG(11)
+    samples = [rng.zipf_index(1000) for _ in range(5000)]
+    assert all(0 <= s < 1000 for s in samples)
+    # Zipf: the head must be far more popular than the tail.
+    head = sum(1 for s in samples if s < 10)
+    tail = sum(1 for s in samples if s >= 990)
+    assert head > tail * 3
+
+
+def test_zipf_index_single_element():
+    rng = DeterministicRNG(1)
+    assert rng.zipf_index(1) == 0

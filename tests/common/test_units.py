@@ -1,0 +1,66 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_constants_are_consistent():
+    assert units.PAGE_SIZE == 4096
+    assert units.BLOCK_SIZE == 64
+    assert units.BLOCKS_PER_PAGE == 64
+    assert units.PTES_PER_PTB == 8
+    assert units.PAGE_SIZE == units.BLOCKS_PER_PAGE * units.BLOCK_SIZE
+
+
+def test_align_down_basic():
+    assert units.align_down(0x1234, 0x1000) == 0x1000
+    assert units.align_down(0x1000, 0x1000) == 0x1000
+    assert units.align_down(0, 64) == 0
+
+
+def test_align_up_basic():
+    assert units.align_up(0x1234, 0x1000) == 0x2000
+    assert units.align_up(0x1000, 0x1000) == 0x1000
+    assert units.align_up(1, 64) == 64
+
+
+def test_align_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        units.align_down(100, 3)
+    with pytest.raises(ValueError):
+        units.align_up(100, 0)
+    with pytest.raises(ValueError):
+        units.is_aligned(100, 6)
+
+
+def test_is_aligned():
+    assert units.is_aligned(0x2000, 0x1000)
+    assert not units.is_aligned(0x2040, 0x1000)
+    assert units.is_aligned(0, 64)
+
+
+def test_page_and_block_numbers():
+    assert units.page_of(0) == 0
+    assert units.page_of(4095) == 0
+    assert units.page_of(4096) == 1
+    assert units.block_of(63) == 0
+    assert units.block_of(64) == 1
+
+
+def test_page_and_block_bases():
+    assert units.page_base(0x1FFF) == 0x1000
+    assert units.block_base(0x1C7) == 0x1C0
+
+
+def test_block_index_in_page():
+    assert units.block_index_in_page(0x1000) == 0
+    assert units.block_index_in_page(0x1040) == 1
+    assert units.block_index_in_page(0x1FC0) == 63
+
+
+def test_is_power_of_two():
+    assert units.is_power_of_two(1)
+    assert units.is_power_of_two(4096)
+    assert not units.is_power_of_two(0)
+    assert not units.is_power_of_two(96)

@@ -1,0 +1,68 @@
+"""Shared fixtures: representative 64 B blocks and 4 KB pages."""
+
+import random
+
+import pytest
+
+from repro.common.units import BLOCK_SIZE, PAGE_SIZE
+
+
+def _rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def sample_blocks():
+    """A zoo of 64 B blocks spanning the hardware-relevant patterns."""
+    rng = _rng()
+    pointer_base = 0x7F3A_1200_0000
+    pointers = b"".join(
+        (pointer_base + i * 64).to_bytes(8, "little") for i in range(8)
+    )
+    small_ints = b"".join(
+        rng.randint(0, 200).to_bytes(4, "little") for _ in range(16)
+    )
+    repeated = bytes([0xAB, 0xCD] * 32)
+    text = b"the quick brown fox jumps over the lazy dog, again and MORE"
+    text = (text + bytes(BLOCK_SIZE))[:BLOCK_SIZE]
+    return {
+        "zero": bytes(BLOCK_SIZE),
+        "pointers": pointers,
+        "small_ints": small_ints,
+        "repeated": repeated,
+        "text": text,
+        "random": bytes(rng.randrange(256) for _ in range(BLOCK_SIZE)),
+        "one_hot": bytes([0] * 37 + [0x80] + [0] * 26),
+    }
+
+
+@pytest.fixture(scope="session")
+def sample_pages():
+    """A zoo of 4 KB pages spanning the compressibility spectrum."""
+    rng = _rng()
+    text_seed = (
+        b"In computing, memory compression is a technique to reduce the "
+        b"physical footprint of data kept in main memory. "
+    )
+    text_page = (text_seed * (PAGE_SIZE // len(text_seed) + 1))[:PAGE_SIZE]
+    heap_words = []
+    base = 0x5555_0000_0000
+    for i in range(PAGE_SIZE // 8):
+        if rng.random() < 0.3:
+            heap_words.append((base + rng.randint(0, 1 << 20)).to_bytes(8, "little"))
+        elif rng.random() < 0.5:
+            heap_words.append(rng.randint(0, 255).to_bytes(8, "little"))
+        else:
+            heap_words.append(bytes(8))
+    heap_page = b"".join(heap_words)
+    sparse = bytearray(PAGE_SIZE)
+    for _ in range(40):
+        offset = rng.randrange(PAGE_SIZE - 8)
+        sparse[offset : offset + 8] = rng.randbytes(8)
+    return {
+        "zeros": bytes(PAGE_SIZE),
+        "text": text_page,
+        "heap": heap_page,
+        "sparse": bytes(sparse),
+        "random": rng.randbytes(PAGE_SIZE),
+    }

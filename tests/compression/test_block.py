@@ -1,0 +1,267 @@
+"""Tests for 64 B block compressors (BDI, BPC, C-Pack, zero, selector)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import BLOCK_SIZE, PAGE_SIZE
+from repro.compression.block import (
+    BDICompressor,
+    BPCCompressor,
+    CPackCompressor,
+    SelectiveBlockCompressor,
+    ZeroBlockCompressor,
+)
+
+ALL_ALGORITHMS = [BDICompressor, BPCCompressor, CPackCompressor, ZeroBlockCompressor]
+
+block_strategy = st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE)
+
+
+# ----------------------------------------------------------------------
+# Zero-block
+# ----------------------------------------------------------------------
+
+def test_zero_block_compresses_to_one_bit():
+    compressor = ZeroBlockCompressor()
+    result = compressor.compress(bytes(BLOCK_SIZE))
+    assert result is not None
+    assert result.size_bits == 1
+    assert compressor.decompress(result) == bytes(BLOCK_SIZE)
+
+
+def test_zero_block_rejects_nonzero():
+    compressor = ZeroBlockCompressor()
+    block = bytearray(BLOCK_SIZE)
+    block[63] = 1
+    assert compressor.compress(bytes(block)) is None
+
+
+# ----------------------------------------------------------------------
+# BDI
+# ----------------------------------------------------------------------
+
+def test_bdi_compresses_pointer_array(sample_blocks):
+    compressor = BDICompressor()
+    result = compressor.compress(sample_blocks["pointers"])
+    assert result is not None
+    assert result.size_bits < BLOCK_SIZE * 8 // 2
+    assert compressor.decompress(result) == sample_blocks["pointers"]
+
+
+def test_bdi_compresses_small_ints(sample_blocks):
+    compressor = BDICompressor()
+    result = compressor.compress(sample_blocks["small_ints"])
+    assert result is not None
+    assert compressor.decompress(result) == sample_blocks["small_ints"]
+
+
+def test_bdi_rejects_random(sample_blocks):
+    assert BDICompressor().compress(sample_blocks["random"]) is None
+
+
+def test_bdi_handles_negative_deltas():
+    # Descending pointers exercise sign handling in the delta codec.
+    base = 0x7FFF_0000
+    block = b"".join((base - i * 3).to_bytes(8, "little") for i in range(8))
+    compressor = BDICompressor()
+    result = compressor.compress(block)
+    assert result is not None
+    assert compressor.decompress(result) == block
+
+
+def test_bdi_mixed_base_and_immediate():
+    # Small values near zero interleaved with values near a large base:
+    # exactly the case the "immediate" zero-base encoding exists for.
+    values = [0x1234_5678_0000, 5, 0x1234_5678_0010, 9,
+              0x1234_5678_0020, 1, 0x1234_5678_0030, 0]
+    block = b"".join(v.to_bytes(8, "little") for v in values)
+    compressor = BDICompressor()
+    result = compressor.compress(block)
+    assert result is not None
+    assert compressor.decompress(result) == block
+
+
+# ----------------------------------------------------------------------
+# C-Pack
+# ----------------------------------------------------------------------
+
+def test_cpack_compresses_repeated_words(sample_blocks):
+    compressor = CPackCompressor()
+    result = compressor.compress(sample_blocks["repeated"])
+    assert result is not None
+    assert compressor.decompress(result) == sample_blocks["repeated"]
+
+
+def test_cpack_zero_words():
+    compressor = CPackCompressor()
+    result = compressor.compress(bytes(BLOCK_SIZE))
+    assert result is not None
+    assert result.size_bits == 2 * 16  # sixteen 'zzzz' patterns
+    assert compressor.decompress(result) == bytes(BLOCK_SIZE)
+
+
+def test_cpack_partial_match_paths():
+    # Words sharing upper bytes exercise the 1100/1110 patterns.
+    words = [0xAABBCC00 + i for i in range(8)] + [0xAABB0000 + i * 257 for i in range(8)]
+    block = b"".join(w.to_bytes(4, "big") for w in words)
+    compressor = CPackCompressor()
+    result = compressor.compress(block)
+    assert result is not None
+    assert compressor.decompress(result) == block
+
+
+def test_cpack_rejects_incompressible(sample_blocks):
+    assert CPackCompressor().compress(sample_blocks["random"]) is None
+
+
+# ----------------------------------------------------------------------
+# BPC
+# ----------------------------------------------------------------------
+
+def test_bpc_compresses_arithmetic_sequence():
+    block = b"".join((1000 + 4 * i).to_bytes(4, "big") for i in range(16))
+    compressor = BPCCompressor()
+    result = compressor.compress(block)
+    assert result is not None
+    assert result.size_bits < BLOCK_SIZE * 8 // 3
+    assert compressor.decompress(result) == block
+
+
+def test_bpc_roundtrip_on_wraparound_deltas():
+    words = [0xFFFF_FFFF, 0x0000_0000, 0x8000_0000, 0x7FFF_FFFF] * 4
+    block = b"".join(w.to_bytes(4, "big") for w in words)
+    compressor = BPCCompressor()
+    result = compressor.compress(block)
+    if result is not None:  # may legitimately not fit
+        assert compressor.decompress(result) == block
+
+
+@given(block_strategy)
+def test_bpc_roundtrip_property(block):
+    compressor = BPCCompressor()
+    result = compressor.compress(block)
+    if result is not None:
+        assert compressor.decompress(result) == block
+
+
+@given(block_strategy)
+def test_bdi_roundtrip_property(block):
+    compressor = BDICompressor()
+    result = compressor.compress(block)
+    if result is not None:
+        assert compressor.decompress(result) == block
+
+
+@given(block_strategy)
+def test_cpack_roundtrip_property(block):
+    compressor = CPackCompressor()
+    result = compressor.compress(block)
+    if result is not None:
+        assert compressor.decompress(result) == block
+
+
+# ----------------------------------------------------------------------
+# Selector
+# ----------------------------------------------------------------------
+
+def test_selector_roundtrips_all_sample_blocks(sample_blocks):
+    selector = SelectiveBlockCompressor()
+    for name, block in sample_blocks.items():
+        compressed = selector.compress(block)
+        assert selector.decompress(compressed) == block, name
+
+
+def test_selector_never_worse_than_raw(sample_blocks):
+    selector = SelectiveBlockCompressor()
+    for block in sample_blocks.values():
+        compressed = selector.compress(block)
+        assert compressed.size_bits <= SelectiveBlockCompressor.HEADER_BITS + BLOCK_SIZE * 8
+
+
+def test_selector_picks_zero_for_zero_block():
+    selector = SelectiveBlockCompressor()
+    assert selector.compress(bytes(BLOCK_SIZE)).algorithm == "zero"
+
+
+def test_selector_raw_fallback(sample_blocks):
+    selector = SelectiveBlockCompressor()
+    compressed = selector.compress(sample_blocks["random"])
+    assert compressed.algorithm == "raw"
+    assert selector.decompress(compressed) == sample_blocks["random"]
+
+
+def test_selector_page_interface(sample_pages):
+    selector = SelectiveBlockCompressor()
+    blocks = selector.compress_page(sample_pages["heap"])
+    assert len(blocks) == PAGE_SIZE // BLOCK_SIZE
+    restored = b"".join(
+        selector.decompress(block) for block in blocks
+    )
+    assert restored == sample_pages["heap"]
+
+
+def test_selector_page_rejects_misaligned():
+    with pytest.raises(ValueError):
+        SelectiveBlockCompressor().compress_page(b"x" * 100)
+
+
+def test_selector_page_ratio_ordering(sample_pages):
+    """Zeros compress best, random worst; heap data sits between."""
+    selector = SelectiveBlockCompressor()
+    zeros = selector.page_ratio(sample_pages["zeros"])
+    heap = selector.page_ratio(sample_pages["heap"])
+    rand = selector.page_ratio(sample_pages["random"])
+    assert zeros > heap > rand
+    assert rand <= 1.0 + 1e-9
+
+
+@given(block_strategy)
+def test_selector_roundtrip_property(block):
+    selector = SelectiveBlockCompressor()
+    assert selector.decompress(selector.compress(block)) == block
+
+
+def test_block_size_validation():
+    for compressor_cls in ALL_ALGORITHMS:
+        with pytest.raises(ValueError):
+            compressor_cls().compress(b"short")
+
+
+# ----------------------------------------------------------------------
+# Cross-algorithm behavioural checks
+# ----------------------------------------------------------------------
+
+def test_bdi_beats_cpack_on_pointer_arrays(sample_blocks):
+    """Pointer arrays are BDI's home turf."""
+    bdi = BDICompressor().compress(sample_blocks["pointers"])
+    cpack = CPackCompressor().compress(sample_blocks["pointers"])
+    assert bdi is not None
+    if cpack is not None:
+        assert bdi.size_bits <= cpack.size_bits
+
+
+def test_cpack_beats_bdi_on_repeated_words(sample_blocks):
+    """Exact word repetition is C-Pack's dictionary case."""
+    cpack = CPackCompressor().compress(sample_blocks["repeated"])
+    bdi = BDICompressor().compress(sample_blocks["repeated"])
+    assert cpack is not None
+    if bdi is not None:
+        assert cpack.size_bits <= bdi.size_bits
+
+
+def test_selector_matches_best_individual(sample_blocks):
+    """The selector's output equals the best candidate + header bits."""
+    selector = SelectiveBlockCompressor()
+    for block in sample_blocks.values():
+        best_bits = None
+        for compressor in (ZeroBlockCompressor(), BDICompressor(),
+                           BPCCompressor(), CPackCompressor()):
+            candidate = compressor.compress(block)
+            if candidate is not None:
+                if best_bits is None or candidate.size_bits < best_bits:
+                    best_bits = candidate.size_bits
+        chosen = selector.compress(block)
+        if best_bits is None:
+            assert chosen.algorithm == "raw"
+        else:
+            assert chosen.size_bits == best_bits + selector.HEADER_BITS

@@ -1,0 +1,237 @@
+"""Tests for the memory-specialized Deflate codec and its models."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import KIB, PAGE_SIZE
+from repro.compression.deflate import (
+    MODE_LZ_HUFFMAN,
+    MODE_LZ_ONLY,
+    MODE_RAW,
+    AsicAreaModel,
+    CompressedPage,
+    DeflateCodec,
+    DeflateConfig,
+    DeflateTimingModel,
+    IBMDeflateModel,
+    corpus_ratio,
+)
+from repro.compression.lz import LZConfig
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return DeflateCodec()
+
+
+# ----------------------------------------------------------------------
+# Functional codec
+# ----------------------------------------------------------------------
+
+def test_roundtrip_sample_pages(codec, sample_pages):
+    for name, page in sample_pages.items():
+        compressed = codec.compress(page)
+        assert codec.decompress(compressed) == page, name
+
+
+def test_compressible_page_uses_huffman(codec, sample_pages):
+    compressed = codec.compress(sample_pages["text"])
+    assert compressed.mode == MODE_LZ_HUFFMAN
+    assert compressed.size_bytes < PAGE_SIZE // 3
+
+
+def test_random_page_falls_back(codec, sample_pages):
+    compressed = codec.compress(sample_pages["random"])
+    assert compressed.mode in (MODE_RAW, MODE_LZ_ONLY)
+    assert compressed.size_bytes <= PAGE_SIZE + 3
+
+
+def test_dynamic_skip_prevents_huffman_expansion(sample_pages):
+    """With skip off, Huffman may expand; with skip on it never may."""
+    with_skip = DeflateCodec(DeflateConfig(dynamic_huffman_skip=True))
+    without_skip = DeflateCodec(DeflateConfig(dynamic_huffman_skip=False))
+    for page in sample_pages.values():
+        a = with_skip.compress(page)
+        b = without_skip.compress(page)
+        assert a.size_bytes <= b.size_bytes
+        assert with_skip.decompress(a) == page
+        assert without_skip.decompress(b) == page
+
+
+def test_ratio_and_size_helpers(codec, sample_pages):
+    page = sample_pages["text"]
+    assert codec.ratio(page) == PAGE_SIZE / codec.compressed_size(page)
+    assert codec.ratio(page) > 3.0
+
+
+def test_compress_validates_input(codec):
+    with pytest.raises(ValueError):
+        codec.compress(b"")
+    with pytest.raises(ValueError):
+        codec.compress(bytes(1 << 16))
+
+
+def test_ratio_ordering_matches_figure15(codec, sample_pages):
+    """Deflate beats block-level but stays below zlib on realistic pages.
+
+    This is the Figure 15 ordering: block-level 1.51x < ours 3.4x < gzip.
+    """
+    from repro.compression.block import SelectiveBlockCompressor
+
+    page = sample_pages["heap"]
+    block_ratio = SelectiveBlockCompressor().page_ratio(page)
+    our_ratio = codec.ratio(page)
+    gzip_ratio = PAGE_SIZE / len(zlib.compress(page, 9))
+    assert block_ratio < our_ratio
+    assert our_ratio > 0.75 * gzip_ratio  # "similar compression ratio"
+
+
+def test_corpus_ratio(codec, sample_pages):
+    pages = [sample_pages["text"], sample_pages["heap"]]
+    ratio = corpus_ratio(codec, pages)
+    assert ratio > 1.5
+
+
+def test_decompress_rejects_unknown_mode(codec, sample_pages):
+    bad = CompressedPage(7, PAGE_SIZE, b"", codec.compress(sample_pages["text"]).lz_stats)
+    with pytest.raises(ValueError):
+        codec.decompress(bad)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=PAGE_SIZE))
+def test_roundtrip_property(data):
+    codec = DeflateCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from([256, 512, 1024, 4096]))
+def test_roundtrip_across_cam_sizes(window):
+    codec = DeflateCodec(DeflateConfig(lz=LZConfig(window_size=window)))
+    page = (b"structured data " * 300)[:PAGE_SIZE]
+    assert codec.decompress(codec.compress(page)) == page
+
+
+def test_larger_cam_never_hurts_ratio(sample_pages):
+    """Section V-B2: ratio grows (weakly) with CAM size."""
+    page = sample_pages["text"]
+    sizes = [256, 512, 1024, 4096]
+    ratios = []
+    for window in sizes:
+        codec = DeflateCodec(DeflateConfig(lz=LZConfig(window_size=window)))
+        ratios.append(codec.ratio(page))
+    assert all(b >= a * 0.999 for a, b in zip(ratios, ratios[1:]))
+
+
+# ----------------------------------------------------------------------
+# Timing model (Table II)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def typical_page(codec, sample_pages):
+    """The heap page compresses ~3.2x, close to the paper's 3.4x geomean."""
+    return codec.compress(sample_pages["heap"])
+
+
+def test_our_decompress_latency_near_table2(typical_page):
+    model = DeflateTimingModel()
+    latency = model.decompress_latency_ns(typical_page)
+    assert 150 <= latency <= 450  # Table II: 277 ns
+
+
+def test_half_page_latency_is_cheaper(typical_page):
+    model = DeflateTimingModel()
+    full = model.decompress_latency_ns(typical_page)
+    half = model.decompress_latency_ns(typical_page, PAGE_SIZE // 2)
+    assert half < full
+    assert half > full / 4
+
+
+def test_our_compress_latency_near_table2(typical_page):
+    model = DeflateTimingModel()
+    latency = model.compress_latency_ns(typical_page)
+    assert 300 <= latency <= 900  # Table II: 662 ns
+
+
+def test_our_deflate_beats_ibm_by_around_4x(typical_page):
+    ours = DeflateTimingModel()
+    ibm = IBMDeflateModel()
+    speedup = ibm.decompress_latency_ns(PAGE_SIZE) / ours.decompress_latency_ns(typical_page)
+    assert speedup > 2.5  # paper: ~4x
+
+
+def test_half_page_speedup_is_larger(typical_page):
+    """Table II: half-page decompression is ~6x faster than IBM's."""
+    ours = DeflateTimingModel()
+    ibm = IBMDeflateModel()
+    full_speedup = ibm.decompress_latency_ns(PAGE_SIZE) / ours.decompress_latency_ns(
+        typical_page
+    )
+    half_speedup = ibm.decompress_latency_ns(
+        PAGE_SIZE, PAGE_SIZE // 2
+    ) / ours.decompress_latency_ns(typical_page, PAGE_SIZE // 2)
+    assert half_speedup > full_speedup
+
+
+def test_throughput_exceeds_ddr4_channel(typical_page):
+    """Paper: total throughput of one module exceeds 25.6 GB/s."""
+    model = DeflateTimingModel()
+    total = model.compress_throughput_gbps(typical_page) + model.decompress_throughput_gbps(
+        typical_page
+    )
+    assert total > 25.6
+
+
+def test_ibm_model_matches_published_numbers():
+    ibm = IBMDeflateModel()
+    assert ibm.decompress_latency_ns(PAGE_SIZE) == pytest.approx(1100, rel=0.02)
+    assert ibm.compress_latency_ns(PAGE_SIZE) == pytest.approx(1050, rel=0.02)
+    assert ibm.decompress_latency_ns(PAGE_SIZE, PAGE_SIZE // 2) == pytest.approx(878, rel=0.02)
+    assert ibm.decompress_throughput_gbps(PAGE_SIZE) == pytest.approx(3.7, rel=0.03)
+    assert ibm.compress_throughput_gbps(PAGE_SIZE) == pytest.approx(3.9, rel=0.03)
+
+
+def test_raw_mode_timing_is_fast(codec, sample_pages):
+    compressed = codec.compress(sample_pages["random"])
+    model = DeflateTimingModel()
+    assert model.decompress_latency_ns(compressed) < model.decompress_latency_ns(
+        codec.compress(sample_pages["text"])
+    ) or compressed.mode != MODE_RAW
+
+
+# ----------------------------------------------------------------------
+# Area/power model (Table I)
+# ----------------------------------------------------------------------
+
+def test_area_model_matches_table1():
+    model = AsicAreaModel()
+    areas = model.module_areas_mm2(cam_size=KIB, tree_size=16)
+    assert areas["lz_compressor"] == pytest.approx(0.060)
+    assert areas["lz_decompressor"] == pytest.approx(0.022)
+    assert areas["huffman_compressor"] == pytest.approx(0.034)
+    assert areas["huffman_decompressor"] == pytest.approx(0.014)
+    assert model.total_area_mm2() == pytest.approx(0.13, abs=0.01)
+    assert model.total_power_mw() == pytest.approx(447, abs=1)
+
+
+def test_area_scales_with_cam():
+    model = AsicAreaModel()
+    assert model.module_areas_mm2(cam_size=4 * KIB)["lz_compressor"] == pytest.approx(0.24)
+    assert model.total_area_mm2(cam_size=256) < model.total_area_mm2(cam_size=KIB)
+
+
+def test_compressed_page_size_includes_header(codec, sample_pages):
+    compressed = codec.compress(sample_pages["heap"])
+    assert compressed.size_bytes == 3 + len(compressed.payload)
+
+
+def test_mode_raw_never_expands_beyond_header(codec):
+    import random
+
+    rng = random.Random(44)
+    page = rng.randbytes(PAGE_SIZE)
+    compressed = codec.compress(page)
+    assert compressed.size_bytes <= PAGE_SIZE + 3

@@ -1,0 +1,95 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.common.units import KIB
+from repro.compression.deflate import DeflateConfig
+from repro.compression.explore import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    paper_design_point,
+    pareto_frontier,
+)
+from repro.workloads.content import ContentSynthesizer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    synthesizer = ContentSynthesizer("graph", seed=6)
+    return [synthesizer.page(v) for v in range(6)]
+
+
+@pytest.fixture(scope="module")
+def sweep(corpus):
+    explorer = DesignSpaceExplorer(corpus)
+    return explorer.sweep(cam_sizes=(256, 1 * KIB, 4 * KIB),
+                          tree_sizes=(8, 16))
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ValueError):
+        DesignSpaceExplorer([])
+
+
+def test_evaluate_single_point(corpus):
+    explorer = DesignSpaceExplorer(corpus)
+    point = explorer.evaluate(DeflateConfig())
+    assert point.cam_size == 1 * KIB
+    assert point.tree_size == 16
+    assert point.ratio > 1.5
+    assert point.area_mm2 == pytest.approx(0.13, abs=0.01)
+    assert point.half_page_latency_ns > 0
+
+
+def test_sweep_covers_the_grid(sweep):
+    assert len(sweep) == 6
+    assert {p.cam_size for p in sweep} == {256, 1 * KIB, 4 * KIB}
+    assert {p.tree_size for p in sweep} == {8, 16}
+
+
+def test_sweep_skips_infeasible_trees(corpus):
+    explorer = DesignSpaceExplorer(corpus)
+    points = explorer.sweep(cam_sizes=(1 * KIB,), tree_sizes=(16, 32),
+                            depth_threshold=4)
+    # 32 leaves cannot fit in depth 4; only the 16-leaf point survives.
+    assert {p.tree_size for p in points} == {16}
+
+
+def test_bigger_cam_never_worse_ratio(sweep):
+    by_tree = {}
+    for point in sweep:
+        by_tree.setdefault(point.tree_size, []).append(point)
+    for points in by_tree.values():
+        ordered = sorted(points, key=lambda p: p.cam_size)
+        for small, big in zip(ordered, ordered[1:]):
+            assert big.ratio >= small.ratio * 0.99
+
+
+def test_dominates_relation():
+    base = dict(tree_size=16, depth_threshold=8, dynamic_huffman_skip=True,
+                frequency_sample_fraction=1.0, compress_latency_ns=500.0,
+                power_mw=400.0)
+    good = DesignPoint(cam_size=1024, ratio=3.0, half_page_latency_ns=140.0,
+                       area_mm2=0.13, **base)
+    worse = DesignPoint(cam_size=4096, ratio=2.9, half_page_latency_ns=150.0,
+                        area_mm2=0.38, **base)
+    assert good.dominates(worse)
+    assert not worse.dominates(good)
+    assert not good.dominates(good)
+
+
+def test_pareto_frontier_contains_paper_point(sweep):
+    frontier = pareto_frontier(sweep)
+    assert frontier
+    chosen = paper_design_point(sweep)
+    assert chosen is not None
+    assert chosen in frontier, (
+        "the paper's 1 KB CAM / 16-leaf / skip-on point should be "
+        "non-dominated on this corpus"
+    )
+
+
+def test_paper_design_point_absent_when_not_swept(corpus):
+    explorer = DesignSpaceExplorer(corpus)
+    points = explorer.sweep(cam_sizes=(256,), tree_sizes=(8,))
+    assert paper_design_point(points) is None

@@ -1,0 +1,220 @@
+"""Tests for reduced and full Huffman codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.huffman import (
+    ESCAPE,
+    FullHuffmanCodec,
+    ReducedHuffmanCodec,
+    ReducedTreeConfig,
+    _canonical_codes,
+    _huffman_code_lengths,
+)
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+
+def test_code_lengths_simple():
+    lengths = _huffman_code_lengths({0: 100, 1: 1, 2: 1})
+    assert lengths[0] == 1
+    assert lengths[1] == 2
+    assert lengths[2] == 2
+
+
+def test_code_lengths_single_symbol():
+    assert _huffman_code_lengths({65: 10}) == {65: 1}
+
+
+def test_code_lengths_empty():
+    assert _huffman_code_lengths({}) == {}
+
+
+def test_canonical_codes_are_prefix_free():
+    lengths = _huffman_code_lengths({i: 2**i for i in range(8)})
+    codes = _canonical_codes(lengths)
+    entries = sorted(codes.values(), key=lambda cl: cl[1])
+    for i, (code_a, len_a) in enumerate(entries):
+        for code_b, len_b in entries[i + 1 :]:
+            assert (code_b >> (len_b - len_a)) != code_a, "prefix violation"
+
+
+def test_kraft_inequality_holds():
+    lengths = _huffman_code_lengths({i: i + 1 for i in range(16)})
+    assert sum(2.0 ** -length for length in lengths.values()) <= 1.0 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Reduced codec
+# ----------------------------------------------------------------------
+
+def test_reduced_roundtrip_text():
+    codec = ReducedHuffmanCodec()
+    data = b"the reduced tree only keeps the fifteen hottest characters" * 10
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_reduced_roundtrip_empty():
+    codec = ReducedHuffmanCodec()
+    assert codec.decode(codec.encode(b"")) == b""
+
+
+def test_reduced_roundtrip_single_byte():
+    codec = ReducedHuffmanCodec()
+    assert codec.decode(codec.encode(b"z")) == b"z"
+
+
+def test_reduced_roundtrip_uniform_bytes():
+    """All 256 values present: most go through the escape path."""
+    codec = ReducedHuffmanCodec()
+    data = bytes(range(256)) * 4
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_reduced_compresses_skewed_input():
+    codec = ReducedHuffmanCodec()
+    data = b"\x00" * 3000 + b"\x01" * 500 + bytes(range(100))
+    assert len(codec.encode(data)) < len(data) // 2
+
+
+def test_reduced_tree_size_limit():
+    codec = ReducedHuffmanCodec()
+    lengths = codec.build_lengths(bytes(range(200)) * 3)
+    assert len(lengths) <= codec.config.tree_size
+    assert ESCAPE in lengths
+
+
+def test_reduced_depth_threshold_enforced():
+    config = ReducedTreeConfig(tree_size=16, depth_threshold=5)
+    codec = ReducedHuffmanCodec(config)
+    # Exponential frequencies force a skewed tree without a depth cap.
+    data = b"".join(bytes([i]) * (2 ** i) for i in range(14))
+    lengths = codec.build_lengths(data)
+    assert max(lengths.values()) <= 5
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_reduced_escape_never_discarded():
+    config = ReducedTreeConfig(tree_size=4, depth_threshold=2)
+    codec = ReducedHuffmanCodec(config)
+    data = b"aabbccddeeffgg" * 20
+    lengths = codec.build_lengths(data)
+    assert ESCAPE in lengths
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_reduced_config_validation():
+    with pytest.raises(ValueError):
+        ReducedTreeConfig(tree_size=1)
+    with pytest.raises(ValueError):
+        ReducedTreeConfig(depth_threshold=0)
+    with pytest.raises(ValueError):
+        ReducedTreeConfig(tree_size=32, depth_threshold=4)
+
+
+def test_reduced_rejects_oversized_input():
+    with pytest.raises(ValueError):
+        ReducedHuffmanCodec().encode(bytes(1 << 16))
+
+
+def test_encoded_size_bits_matches_encode():
+    codec = ReducedHuffmanCodec()
+    data = b"abcabcabcxyz" * 50
+    bits = codec.encoded_size_bits(data)
+    blob = codec.encode(data)
+    assert (bits + 7) // 8 == len(blob)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=1500))
+def test_reduced_roundtrip_property(data):
+    codec = ReducedHuffmanCodec()
+    assert codec.decode(codec.encode(data)) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=800),
+       st.sampled_from([4, 8, 16, 32]),
+       st.sampled_from([6, 8, 12]))
+def test_reduced_roundtrip_property_configs(data, tree_size, depth):
+    if tree_size > (1 << depth):
+        return
+    codec = ReducedHuffmanCodec(ReducedTreeConfig(tree_size, depth))
+    assert codec.decode(codec.encode(data)) == data
+
+
+# ----------------------------------------------------------------------
+# Full codec
+# ----------------------------------------------------------------------
+
+def test_full_roundtrip_text():
+    codec = FullHuffmanCodec()
+    data = b"canonical trees pay a 128-byte table" * 20
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_full_roundtrip_empty():
+    codec = FullHuffmanCodec()
+    assert codec.decode(codec.encode(b"")) == b""
+
+
+def test_full_tree_overhead_is_constant():
+    assert FullHuffmanCodec().tree_bits() == 1024
+
+
+def test_full_beats_reduced_on_flat_distribution():
+    """With many equally-hot symbols the full tree codes them all."""
+    data = bytes(range(64)) * 32  # 64 symbols, uniform
+    full = FullHuffmanCodec().encode(data)
+    reduced = ReducedHuffmanCodec().encode(data)
+    assert len(full) < len(reduced)
+
+
+def test_reduced_beats_full_on_small_skewed_input():
+    """On a small skewed page the 128-byte table costs more than escapes."""
+    data = b"\x07" * 300 + b"\x09" * 40
+    full = FullHuffmanCodec().encode(data)
+    reduced = ReducedHuffmanCodec().encode(data)
+    assert len(reduced) < len(full)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=0, max_size=1200))
+def test_full_roundtrip_property(data):
+    codec = FullHuffmanCodec()
+    assert codec.decode(codec.encode(data)) == data
+
+
+# ----------------------------------------------------------------------
+# 1.1 Pass approximate frequency counting (Section V-B3)
+# ----------------------------------------------------------------------
+
+def test_one_point_one_pass_roundtrips():
+    codec = ReducedHuffmanCodec(ReducedTreeConfig(frequency_sample_fraction=0.125))
+    data = b"prefix-biased content " * 30 + bytes(range(200))
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_one_point_one_pass_never_beats_exact_counting():
+    """Sampling only a prefix picks (at best) the same hot set."""
+    exact = ReducedHuffmanCodec(ReducedTreeConfig(frequency_sample_fraction=1.0))
+    sampled = ReducedHuffmanCodec(ReducedTreeConfig(frequency_sample_fraction=0.1))
+    # A page whose prefix misrepresents the global distribution.
+    data = bytes([1, 2, 3, 4] * 100) + bytes([9] * 3000)
+    assert len(exact.encode(data)) <= len(sampled.encode(data))
+
+
+def test_one_point_one_pass_hurts_on_shifted_distributions():
+    sampled = ReducedHuffmanCodec(ReducedTreeConfig(frequency_sample_fraction=0.05))
+    data = bytes([i % 16 for i in range(200)]) + bytes([200] * 3800)
+    exact = ReducedHuffmanCodec()
+    assert len(sampled.encode(data)) > len(exact.encode(data))
+
+
+def test_frequency_sample_fraction_validation():
+    with pytest.raises(ValueError):
+        ReducedTreeConfig(frequency_sample_fraction=0.0)
+    with pytest.raises(ValueError):
+        ReducedTreeConfig(frequency_sample_fraction=1.5)

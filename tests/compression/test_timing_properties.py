@@ -1,0 +1,89 @@
+"""Property tests for the Deflate pipeline timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import PAGE_SIZE
+from repro.compression.deflate import (
+    DeflateCodec,
+    DeflateTimingModel,
+    IBMDeflateModel,
+)
+from repro.workloads.content import CONTENT_PROFILES, ContentSynthesizer
+
+
+@pytest.fixture(scope="module")
+def compressed_corpus():
+    codec = DeflateCodec()
+    pages = []
+    for profile in ("graph", "canneal", "small"):
+        synthesizer = ContentSynthesizer(profile, seed=8)
+        pages += [codec.compress(synthesizer.page(v)) for v in range(3)]
+    return pages
+
+
+def test_half_page_never_exceeds_full_page(compressed_corpus):
+    model = DeflateTimingModel()
+    for page in compressed_corpus:
+        half = model.decompress_latency_ns(page, PAGE_SIZE // 2)
+        full = model.decompress_latency_ns(page)
+        assert half <= full
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=64, max_value=PAGE_SIZE))
+def test_decompress_latency_monotone_in_bytes_needed(bytes_needed):
+    codec = DeflateCodec()
+    model = DeflateTimingModel()
+    page = codec.compress(ContentSynthesizer("graph", 9).page(1))
+    smaller = model.decompress_latency_ns(page, bytes_needed // 2)
+    larger = model.decompress_latency_ns(page, bytes_needed)
+    assert smaller <= larger + 1e-9
+
+
+def test_less_compressible_pages_compress_faster_but_larger():
+    """Less LZ output to re-encode means shorter Huffman phases; the
+    timing model must track per-page structure, not a constant."""
+    codec = DeflateCodec()
+    model = DeflateTimingModel()
+    compressible = codec.compress(ContentSynthesizer("small", 10).page(0))
+    dense = codec.compress(ContentSynthesizer("canneal", 10).page(0))
+    assert compressible.size_bytes < dense.size_bytes
+    assert model.compress_latency_ns(compressible) != \
+        model.compress_latency_ns(dense)
+
+
+def test_clock_scaling_is_inverse():
+    codec = DeflateCodec()
+    page = codec.compress(ContentSynthesizer("graph", 11).page(2))
+    slow = DeflateTimingModel(clock_ghz=1.25)
+    fast = DeflateTimingModel(clock_ghz=2.5)
+    assert slow.decompress_latency_ns(page) == pytest.approx(
+        2 * fast.decompress_latency_ns(page))
+
+
+def test_throughput_and_latency_are_consistent(compressed_corpus):
+    """Throughput (pipelined) is never worse than 1/latency (serial)."""
+    model = DeflateTimingModel()
+    for page in compressed_corpus:
+        serial_gbps = page.original_size / model.compress_latency_ns(page)
+        assert model.compress_throughput_gbps(page) >= serial_gbps - 1e-9
+
+
+def test_ibm_model_latency_monotone_in_size():
+    ibm = IBMDeflateModel()
+    sizes = [512, 1024, 2048, 4096]
+    latencies = [ibm.decompress_latency_ns(PAGE_SIZE, s) for s in sizes]
+    assert latencies == sorted(latencies)
+    assert latencies[0] > ibm.decompress_setup_ns  # setup dominates
+
+
+def test_our_asic_beats_ibm_on_every_profile_half_page():
+    codec = DeflateCodec()
+    model = DeflateTimingModel()
+    ibm = IBMDeflateModel()
+    ibm_half = ibm.decompress_latency_ns(PAGE_SIZE, PAGE_SIZE // 2)
+    for profile in CONTENT_PROFILES:
+        page = codec.compress(ContentSynthesizer(profile, 12).page(0))
+        ours = model.decompress_latency_ns(page, PAGE_SIZE // 2)
+        assert ours < ibm_half / 3, profile

@@ -1,0 +1,33 @@
+"""Shared fixtures for controller unit tests."""
+
+import pytest
+
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
+from repro.dram.system import DRAMSystem
+from repro.workloads.content import ContentSynthesizer
+
+
+@pytest.fixture(scope="session")
+def system():
+    return SystemConfig()
+
+
+@pytest.fixture(scope="session")
+def graph_model():
+    """A small compression oracle over graph-profile pages."""
+    return PageCompressionModel(
+        ContentSynthesizer("graph", seed=2).page, sample_pages=8, seed=2
+    )
+
+
+@pytest.fixture
+def dram():
+    return DRAMSystem()
+
+
+def make_pages(count, hot_first=True):
+    """``count`` data ppns with hotness rank equal to list position."""
+    ppns = list(range(100, 100 + count))
+    hotness = {ppn: rank for rank, ppn in enumerate(ppns)}
+    return ppns, hotness

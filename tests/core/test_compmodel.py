@@ -1,0 +1,70 @@
+"""Tests for the page-compression oracle."""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.core.compmodel import PageCompressionModel
+from repro.workloads.content import ContentSynthesizer
+
+
+def make_model(profile="graph", samples=6, seed=1):
+    return PageCompressionModel(
+        ContentSynthesizer(profile, seed=seed).page, sample_pages=samples,
+        seed=seed,
+    )
+
+
+def test_records_are_measured_not_fabricated():
+    model = make_model()
+    record = model.record_for(0)
+    assert 0 < record.deflate_bytes <= PAGE_SIZE + 3
+    assert 0 < record.block_bytes
+    assert record.decompress_half_ns < record.decompress_full_ns
+    assert record.compress_ns > 0
+
+
+def test_ibm_latencies_are_slower():
+    """The whole point of Section V-B: IBM's ASIC is several times slower
+    on 4 KB pages."""
+    model = make_model()
+    record = model.record_for(5)
+    assert record.ibm_decompress_half_ns > 3 * record.decompress_half_ns
+    assert record.ibm_decompress_full_ns > 2 * record.decompress_full_ns
+
+
+def test_assignment_is_deterministic_and_total():
+    model = make_model(samples=4)
+    for vpn in range(100):
+        assert model.record_for(vpn) is model.record_for(vpn)
+
+
+def test_different_vpns_spread_over_samples():
+    model = make_model(samples=8)
+    distinct = {id(model.record_for(vpn)) for vpn in range(64)}
+    assert len(distinct) > 1
+
+
+def test_aggregates():
+    model = make_model()
+    assert model.deflate_corpus_ratio() > model.block_corpus_ratio() > 1.0
+    assert model.mean_deflate_bytes() < model.mean_block_bytes()
+
+
+def test_graph_ratio_near_paper_target():
+    """Table IV column E: ~3.0x for the graph family."""
+    model = make_model(samples=12)
+    assert 2.2 <= model.deflate_corpus_ratio() <= 4.0
+
+
+def test_incompressible_flag():
+    import random
+
+    rng = random.Random(1)
+    model = PageCompressionModel(lambda vpn: rng.randbytes(PAGE_SIZE),
+                                 sample_pages=3, seed=1)
+    assert all(model.record_for(v).deflate_incompressible for v in range(10))
+
+
+def test_sample_count_validation():
+    with pytest.raises(ValueError):
+        PageCompressionModel(lambda v: b"\x00" * PAGE_SIZE, sample_pages=0)

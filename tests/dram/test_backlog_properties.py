@@ -1,0 +1,71 @@
+"""Property tests for the DRAM channel backlog (queueing) model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.system import DRAMConfig, DRAMSystem
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6),
+                          st.integers(min_value=0, max_value=1 << 30)),
+                min_size=1, max_size=100))
+def test_queue_delay_is_bounded_by_injected_work(requests):
+    """No request can queue behind more bus time than was ever injected."""
+    dram = DRAMSystem()
+    burst = dram.config.timing.burst_ns
+    total_work = 0.0
+    for now, address in requests:
+        result = dram.read(address, now)
+        total_work += burst
+        assert 0.0 <= result.queue_ns <= total_work
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30),
+                min_size=2, max_size=60))
+def test_quiet_channel_has_no_queue(addresses):
+    """With requests spaced far apart in time, queueing never appears."""
+    dram = DRAMSystem()
+    for index, address in enumerate(addresses):
+        result = dram.read(address, now_ns=index * 1e4)
+        assert result.queue_ns == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=64))
+def test_simultaneous_burst_queues_linearly(count):
+    """N same-instant requests queue 0, b, 2b, ... bus bursts."""
+    dram = DRAMSystem()
+    burst = dram.config.timing.burst_ns
+    delays = [dram.read(i * (1 << 16), now_ns=0.0).queue_ns
+              for i in range(count)]
+    for i, delay in enumerate(delays):
+        assert delay == i * burst
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e5), min_size=3,
+                max_size=40))
+def test_out_of_order_arrivals_never_charge_future_work(times):
+    """A request timestamped earlier than previously seen traffic is never
+    charged more queue than the genuinely unserved backlog -- the
+    multi-core reordering property the model exists for."""
+    dram = DRAMSystem()
+    burst = dram.config.timing.burst_ns
+    issued = 0
+    for now in times:
+        result = dram.read((issued * 64) % (1 << 28), now)
+        issued += 1
+        assert result.queue_ns <= issued * burst
+
+
+def test_backlog_decays_at_wall_clock_rate():
+    dram = DRAMSystem()
+    burst = dram.config.timing.burst_ns
+    for i in range(10):
+        dram.read(i * (1 << 16), now_ns=0.0)
+    # 10 bursts of backlog; after waiting half of it, half remains.
+    wait = 5 * burst
+    result = dram.read(1 << 27, now_ns=wait)
+    assert result.queue_ns <= 5 * burst + 1e-9
+    assert result.queue_ns >= 4 * burst - 1e-9

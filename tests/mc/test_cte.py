@@ -1,0 +1,107 @@
+"""Tests for CTE layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import BLOCKS_PER_PAGE
+from repro.mc.cte import (
+    CTE_SIZE_BLOCKLEVEL,
+    CTE_SIZE_PAGE,
+    CompressoCTE,
+    PageCTE,
+)
+
+
+def test_size_constants_match_paper():
+    """TMCC CTE is 8 B like a PTE; Compresso's is 8x that (Section III)."""
+    assert CTE_SIZE_PAGE == 8
+    assert CTE_SIZE_BLOCKLEVEL == 64
+    assert CTE_SIZE_BLOCKLEVEL == 8 * CTE_SIZE_PAGE
+
+
+def test_page_cte_pack_unpack_ml2():
+    """ML2 pages carry the compressed size in the 32-bit union field."""
+    cte = PageCTE(dram_page=0x123456, in_ml2=True, is_incompressible=False,
+                  compressed_size=1536)
+    restored = PageCTE.unpack(cte.pack())
+    assert restored.dram_page == 0x123456
+    assert restored.in_ml2
+    assert not restored.is_incompressible
+    assert restored.compressed_size == 1536
+    assert restored.ptb_pair_vector == 0
+
+
+def test_page_cte_pack_unpack_ml1():
+    """ML1 pages carry the compressed-PTB pair vector instead."""
+    cte = PageCTE(dram_page=0x777, in_ml2=False, is_incompressible=True,
+                  ptb_pair_vector=0xDEADBEEF)
+    restored = PageCTE.unpack(cte.pack())
+    assert restored.dram_page == 0x777
+    assert not restored.in_ml2
+    assert restored.is_incompressible
+    assert restored.ptb_pair_vector == 0xDEADBEEF
+    assert restored.compressed_size == 0
+
+
+def test_page_cte_fits_64_bits():
+    cte = PageCTE(dram_page=(1 << 28) - 1, in_ml2=True, is_incompressible=True,
+                  compressed_size=4096, ptb_pair_vector=(1 << 32) - 1)
+    assert cte.pack() < (1 << 64)
+
+
+def test_ptb_pair_vector_covers_pairs():
+    cte = PageCTE()
+    cte.set_block_pair_compressed(10, True)
+    # Both blocks of the pair (10, 11) read as compressed.
+    assert cte.block_is_ptb_compressed(10)
+    assert cte.block_is_ptb_compressed(11)
+    assert not cte.block_is_ptb_compressed(12)
+    cte.set_block_pair_compressed(11, False)
+    assert not cte.block_is_ptb_compressed(10)
+
+
+def test_ptb_pair_vector_bounds():
+    cte = PageCTE()
+    with pytest.raises(ValueError):
+        cte.block_is_ptb_compressed(64)
+    with pytest.raises(ValueError):
+        cte.set_block_pair_compressed(-1, True)
+
+
+@given(st.integers(min_value=0, max_value=BLOCKS_PER_PAGE - 1))
+def test_ptb_pair_vector_property(block):
+    cte = PageCTE()
+    cte.set_block_pair_compressed(block, True)
+    partner = block ^ 1
+    assert cte.block_is_ptb_compressed(partner)
+
+
+def test_compresso_cte_default_uncompressed():
+    cte = CompressoCTE()
+    assert cte.compressed_page_bytes() == 4096
+    assert cte.chunks_needed() == 8
+
+
+def test_compresso_cte_compressed_sizes():
+    cte = CompressoCTE(block_sizes=[16] * BLOCKS_PER_PAGE)
+    assert cte.compressed_page_bytes() == 1024
+    assert cte.chunks_needed() == 2
+
+
+def test_compresso_block_location():
+    cte = CompressoCTE(chunks=[7, 9], block_sizes=[16] * BLOCKS_PER_PAGE)
+    chunk, offset = cte.block_location(0)
+    assert (chunk, offset) == (7, 0)
+    chunk, offset = cte.block_location(32)  # 32 * 16 = 512 -> second chunk
+    assert (chunk, offset) == (9, 0)
+    chunk, offset = cte.block_location(33)
+    assert (chunk, offset) == (9, 16)
+
+
+def test_compresso_block_location_edge_cases():
+    cte = CompressoCTE()
+    assert cte.block_location(0) is None  # no chunks allocated yet
+    with pytest.raises(ValueError):
+        cte.block_location(99)
+    short = CompressoCTE(chunks=[1], block_sizes=[64] * BLOCKS_PER_PAGE)
+    assert short.block_location(63) is None  # block falls past chunk list

@@ -1,0 +1,86 @@
+"""Tests for the CTE cache and its translation reach."""
+
+import pytest
+
+from repro.common.units import KIB
+from repro.mc.ctecache import CTECache
+
+
+def test_reach_matches_table3():
+    """TMCC: 64 KB cache, 32 KB reach per block -> 8K pages.
+    Compresso: 128 KB cache, 4 KB reach per block -> 2K pages."""
+    tmcc = CTECache(size_bytes=64 * KIB, cte_size=8)
+    compresso = CTECache(size_bytes=128 * KIB, cte_size=64)
+    assert tmcc.pages_per_block == 8
+    assert compresso.pages_per_block == 1
+    assert tmcc.reach_pages == 8192
+    assert compresso.reach_pages == 2048
+    assert tmcc.reach_pages == 4 * compresso.reach_pages
+
+
+def test_page_level_spatial_locality():
+    """Adjacent pages share a CTE block at page-level granularity."""
+    cache = CTECache(cte_size=8)
+    cache.fill(100)
+    for neighbour in range(96, 104):  # same 8-page group
+        assert cache.contains(neighbour)
+    assert not cache.contains(104)
+
+
+def test_block_level_has_no_such_locality():
+    cache = CTECache(cte_size=64)
+    cache.fill(100)
+    assert cache.contains(100)
+    assert not cache.contains(101)
+
+
+def test_lookup_records_stats():
+    cache = CTECache()
+    assert not cache.lookup(5)
+    cache.fill(5)
+    assert cache.lookup(5)
+    assert cache.stats.total == 2
+    assert cache.stats.hits == 1
+
+
+def test_lru_eviction():
+    cache = CTECache(size_bytes=2 * 64, cte_size=64)  # 2 blocks
+    cache.fill(0)
+    cache.fill(1)
+    cache.lookup(0)
+    cache.fill(2)  # evicts 1
+    assert cache.contains(0)
+    assert not cache.contains(1)
+
+
+def test_invalidate_and_flush():
+    cache = CTECache()
+    cache.fill(9)
+    cache.invalidate_page(9)
+    assert not cache.contains(9)
+    cache.fill(10)
+    cache.flush()
+    assert cache.occupancy_blocks == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CTECache(cte_size=7)
+    with pytest.raises(ValueError):
+        CTECache(size_bytes=32)
+
+
+def test_quadrupling_cache_helps_less_than_page_level():
+    """Section IV's point: page-level reach beats 4x capacity.
+
+    A working set of 6000 pages thrashes a 2K-reach block-level cache,
+    still exceeds the 4x (8K-reach... at 128KB->2K blocks) -- verify the
+    orderings hold for the actual reaches.
+    """
+    base = CTECache(size_bytes=64 * KIB, cte_size=64)       # 1K pages
+    big = CTECache(size_bytes=256 * KIB, cte_size=64)       # 4K pages
+    page_level = CTECache(size_bytes=64 * KIB, cte_size=8)  # 8K pages
+    assert base.reach_pages == 1024
+    assert big.reach_pages == 4096
+    assert page_level.reach_pages == 8192
+    assert page_level.reach_pages > big.reach_pages > base.reach_pages

@@ -1,0 +1,91 @@
+"""Property tests: chunk conservation in the ML1/ML2 free lists.
+
+The single invariant everything hangs on: chunks are never created,
+destroyed, or double-allocated -- whatever sequence of sub-chunk
+allocations and frees occurs, every chunk is either in ML1's free list,
+part of a live super-chunk, or held by an allocated ML1 page.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.freelist import ML1FreeList, ML2FreeLists, superchunk_geometry
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=1, max_value=4096)),
+                min_size=1, max_size=120))
+def test_chunk_conservation(operations):
+    """Random alloc/free interleavings conserve the chunk population."""
+    total_chunks = 64
+    ml1 = ML1FreeList()
+    ml1.push_many(range(total_chunks))
+    ml2 = ML2FreeLists()
+    live = []
+
+    for is_alloc, size in operations:
+        if is_alloc or not live:
+            sub = ml2.alloc(size, ml1)
+            if sub is not None:
+                live.append(sub)
+        else:
+            ml2.free(live.pop(), ml1)
+
+    held_by_superchunks = sum(
+        len(sc.chunk_ids)
+        for stacks in ml2._lists.values()
+        for sc in stacks
+    )
+    # Super-chunks fully allocated (not on any list) still hold chunks;
+    # count them through the live sub-chunks' parents.
+    off_list = {id(s.superchunk): s.superchunk for s in live}
+    for stacks in ml2._lists.values():
+        for sc in stacks:
+            off_list.pop(id(sc), None)
+    held_off_list = sum(len(sc.chunk_ids) for sc in off_list.values())
+    assert ml1.count + held_by_superchunks + held_off_list == total_chunks
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=64))
+def test_no_subchunk_aliasing(sizes):
+    """Two live sub-chunks never share (super-chunk, slot)."""
+    ml1 = ML1FreeList()
+    ml1.push_many(range(128))
+    ml2 = ML2FreeLists()
+    live = []
+    for size in sizes:
+        sub = ml2.alloc(size, ml1)
+        if sub is not None:
+            live.append(sub)
+    keys = {(id(s.superchunk), s.slot) for s in live}
+    assert len(keys) == len(live)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=4096))
+def test_geometry_waste_bound(size):
+    """Carving never wastes more than one sub-chunk's worth of space."""
+    m, n = superchunk_geometry(size)
+    waste = m * 4096 - n * size
+    assert 0 <= waste < size
+    assert n >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=40))
+def test_alloc_free_alloc_is_stable(sizes):
+    """Allocating, freeing everything, then reallocating the same sizes
+    succeeds and returns ML1 to its starting occupancy in between."""
+    ml1 = ML1FreeList()
+    ml1.push_many(range(256))
+    ml2 = ML2FreeLists()
+    first = [ml2.alloc(size, ml1) for size in sizes]
+    assert all(first)
+    for sub in first:
+        ml2.free(sub, ml1)
+    assert ml1.count == 256
+    second = [ml2.alloc(size, ml1) for size in sizes]
+    assert all(second)

@@ -1,0 +1,145 @@
+"""Tests for the recency list and migration buffer."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.mc.migration import MigrationBuffer
+from repro.mc.recency import RecencyList
+
+
+# ----------------------------------------------------------------------
+# Recency list
+# ----------------------------------------------------------------------
+
+def test_push_and_evict_order():
+    rl = RecencyList(DeterministicRNG(1))
+    for ppn in (1, 2, 3):
+        rl.push_hot(ppn)
+    assert rl.evict_coldest() == 1
+    assert rl.evict_coldest() == 2
+    assert len(rl) == 1
+
+
+def test_push_existing_moves_to_hot_end():
+    rl = RecencyList(DeterministicRNG(1))
+    for ppn in (1, 2, 3):
+        rl.push_hot(ppn)
+    rl.push_hot(1)
+    assert rl.evict_coldest() == 2
+
+
+def test_evict_empty_returns_none():
+    assert RecencyList(DeterministicRNG(1)).evict_coldest() is None
+
+
+def test_sampling_rate_about_one_percent():
+    rl = RecencyList(DeterministicRNG(2), sample_probability=0.01)
+    rl.push_hot(7)
+    sampled = sum(rl.on_access(7) for _ in range(20_000))
+    assert 100 <= sampled <= 320  # ~200 expected
+
+
+def test_on_access_untracked_page_is_noop():
+    rl = RecencyList(DeterministicRNG(3), sample_probability=1.0)
+    assert not rl.on_access(42)
+
+
+def test_sampled_access_refreshes_recency():
+    rl = RecencyList(DeterministicRNG(4), sample_probability=1.0)
+    rl.push_hot(1)
+    rl.push_hot(2)
+    assert rl.on_access(1)
+    assert rl.evict_coldest() == 2
+
+
+def test_remove_incompressible():
+    rl = RecencyList(DeterministicRNG(5))
+    rl.push_hot(9)
+    rl.remove(9)
+    assert 9 not in rl
+    rl.remove(9)  # idempotent
+
+
+def test_readd_after_writeback_probability():
+    rl = RecencyList(DeterministicRNG(6), sample_probability=0.01)
+    readds = 0
+    for _ in range(20_000):
+        if rl.maybe_readd_after_writeback(11):
+            readds += 1
+            rl.remove(11)
+    assert 100 <= readds <= 320
+
+
+def test_readd_noop_when_present():
+    rl = RecencyList(DeterministicRNG(7), sample_probability=1.0)
+    rl.push_hot(5)
+    assert not rl.maybe_readd_after_writeback(5)
+
+
+def test_overhead_accounting():
+    rl = RecencyList(DeterministicRNG(8))
+    for ppn in range(1000):
+        rl.push_hot(ppn)
+    assert rl.overhead_bytes() == 1000 * RecencyList.ELEMENT_BYTES
+
+
+def test_sample_probability_validation():
+    with pytest.raises(ValueError):
+        RecencyList(DeterministicRNG(9), sample_probability=1.5)
+
+
+# ----------------------------------------------------------------------
+# Migration buffer
+# ----------------------------------------------------------------------
+
+def test_no_stall_when_entries_free():
+    buffer = MigrationBuffer(entries=2)
+    assert buffer.acquire(now_ns=0.0, duration_ns=100.0) == 0.0
+    assert buffer.acquire(now_ns=0.0, duration_ns=100.0) == 0.0
+    assert buffer.occupancy(0.0) == 2
+
+
+def test_stall_when_full():
+    buffer = MigrationBuffer(entries=1)
+    buffer.acquire(0.0, 100.0)
+    stall = buffer.acquire(10.0, 50.0)
+    assert stall == pytest.approx(90.0)
+    assert buffer.stalls.value == 1
+    assert buffer.stall_ns.mean == pytest.approx(90.0)
+
+
+def test_entries_release_over_time():
+    buffer = MigrationBuffer(entries=1)
+    buffer.acquire(0.0, 100.0)
+    assert buffer.occupancy(50.0) == 1
+    assert buffer.occupancy(150.0) == 0
+    assert buffer.acquire(150.0, 10.0) == 0.0
+
+
+def test_paper_default_is_eight_entries():
+    assert MigrationBuffer().entries == 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MigrationBuffer(entries=0)
+    with pytest.raises(ValueError):
+        MigrationBuffer().acquire(0.0, -1.0)
+
+
+def test_migration_buffer_heap_order_under_mixed_durations():
+    """Entries free in completion order, not insertion order."""
+    buffer = MigrationBuffer(entries=2)
+    buffer.acquire(0.0, 1000.0)   # frees at 1000
+    buffer.acquire(0.0, 100.0)    # frees at 100
+    # Third request at t=50 waits for the *earliest* completion (t=100).
+    stall = buffer.acquire(50.0, 10.0)
+    assert stall == pytest.approx(50.0)
+
+
+def test_recency_list_len_and_contains_protocol():
+    rl = RecencyList(DeterministicRNG(13))
+    assert len(rl) == 0
+    rl.push_hot(4)
+    assert 4 in rl and 5 not in rl
+    assert len(rl) == 1

@@ -1,0 +1,68 @@
+"""Unit tests for experiment result dataclasses' arithmetic."""
+
+import pytest
+
+from repro.sim.experiments import (
+    IsoCapacityResult,
+    IsoPerformanceResult,
+    SplitResult,
+)
+from repro.sim.results import SimResult
+
+
+def result(performance_ns_per_access=10.0, used=100, footprint=200,
+           accesses=1000):
+    return SimResult(
+        workload="w", controller="c", accesses=accesses,
+        elapsed_ns=accesses * performance_ns_per_access,
+        dram_used_bytes=used, footprint_bytes=footprint,
+    )
+
+
+def test_sim_result_performance_metric():
+    r = result(performance_ns_per_access=10.0, accesses=1000)
+    assert r.performance == 100.0  # accesses per microsecond
+    empty = SimResult("w", "c", accesses=0, elapsed_ns=0.0)
+    assert empty.performance == 0.0
+    assert empty.compression_ratio == 0.0
+
+
+def test_sim_result_ratios():
+    r = result(used=100, footprint=250)
+    assert r.compression_ratio == 2.5
+    r.l3_misses = 200
+    r.cte_misses = 50
+    assert r.cte_misses_per_l3_miss == 0.25
+    r.l3_data_misses = 100
+    r.tlb_misses = 30
+    assert r.tlb_misses_per_l3_miss == 0.3
+
+
+def test_iso_capacity_result_speedup():
+    compresso = result(performance_ns_per_access=20.0)
+    tmcc = result(performance_ns_per_access=16.0)
+    iso = IsoCapacityResult("w", compresso, tmcc)
+    assert iso.speedup == pytest.approx(1.25)
+    assert iso.budget_bytes == compresso.dram_used_bytes
+
+
+def test_iso_performance_result_normalization():
+    compresso = result(used=200, footprint=260)     # ratio 1.3
+    tmcc = result(used=100, footprint=260)          # ratio 2.6
+    iso = IsoPerformanceResult("w", compresso, tmcc)
+    assert iso.compresso_ratio == pytest.approx(1.3)
+    assert iso.tmcc_ratio == pytest.approx(2.6)
+    assert iso.normalized_ratio == pytest.approx(2.0)
+
+
+def test_split_result_decomposition():
+    base = result(performance_ns_per_access=24.0)
+    fast_ml2 = result(performance_ns_per_access=20.0)
+    tmcc = result(performance_ns_per_access=16.0)
+    split = SplitResult("w", base, fast_ml2, tmcc)
+    assert split.total_speedup == pytest.approx(1.5)
+    assert split.ml2_speedup == pytest.approx(1.2)
+    assert split.ml1_speedup == pytest.approx(1.25)
+    # The decomposition is multiplicative (up to float rounding).
+    assert split.ml1_speedup * split.ml2_speedup == pytest.approx(
+        split.total_speedup)

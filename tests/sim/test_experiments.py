@@ -1,0 +1,49 @@
+"""Integration tests for the experiment protocols."""
+
+import pytest
+
+from repro.sim.experiments import (
+    iso_capacity_comparison,
+    iso_performance_capacity,
+    osinspired_split,
+    run_workload,
+)
+from repro.workloads.suite import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return workload_by_name("mcf", max_accesses=50_000, scale=0.25)
+
+
+def test_iso_capacity_protocol(workload):
+    iso = iso_capacity_comparison(workload)
+    # Budgets match: TMCC saves the same memory as Compresso.
+    assert iso.tmcc.dram_used_bytes <= iso.budget_bytes * 1.02
+    # TMCC wins on latency (the paper's Figure 17/18 story).
+    assert iso.tmcc.avg_l3_miss_latency_ns < iso.compresso.avg_l3_miss_latency_ns
+    assert iso.speedup > 1.0
+
+
+def test_iso_performance_protocol(workload):
+    iso = iso_performance_capacity(workload, search_steps=3)
+    # TMCC ends at a smaller-or-equal DRAM usage with >= floor performance.
+    assert iso.tmcc.dram_used_bytes <= iso.compresso.dram_used_bytes
+    assert iso.normalized_ratio >= 1.0
+    assert iso.tmcc_ratio > iso.compresso_ratio * 0.99
+
+
+def test_osinspired_split_protocol(workload):
+    compresso = run_workload(workload, "compresso")
+    split = osinspired_split(workload, compresso.dram_used_bytes)
+    # TMCC at least matches the bare-bone design; the two optimizations
+    # each contribute non-negatively (Figure 20).
+    assert split.total_speedup >= 0.99
+    assert split.ml1_speedup >= 0.95
+    assert split.ml2_speedup >= 0.95
+
+
+def test_shared_model_keeps_usage_comparable(workload):
+    """Compresso vs TMCC use the same per-page measurements."""
+    iso = iso_capacity_comparison(workload, seed=3)
+    assert iso.compresso.footprint_bytes == iso.tmcc.footprint_bytes

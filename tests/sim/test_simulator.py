@@ -1,0 +1,116 @@
+"""Integration tests: the simulator end to end on scaled-down workloads."""
+
+import pytest
+
+from repro.sim.simulator import CONTROLLERS, Simulator
+from repro.workloads.suite import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def tiny_canneal():
+    return workload_by_name("canneal", max_accesses=60_000, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return workload_by_name("shortestPath", max_accesses=60_000, scale=0.3)
+
+
+def test_unknown_controller_rejected(tiny_canneal):
+    with pytest.raises(ValueError):
+        Simulator(tiny_canneal, controller="magic")
+
+
+def test_uncompressed_run_produces_sane_stats(tiny_canneal):
+    result = Simulator(tiny_canneal, controller="uncompressed").run()
+    assert result.accesses > 0
+    assert result.elapsed_ns > 0
+    assert result.performance > 0
+    assert 0.0 <= result.tlb_miss_rate <= 1.0
+    assert result.l3_misses > 0
+    # Figure 18's no-compression regime: ~53 ns.
+    assert 40 <= result.avg_l3_miss_latency_ns <= 75
+    assert result.compression_ratio <= 1.0 + 1e-6
+
+
+@pytest.mark.parametrize("controller", sorted(CONTROLLERS))
+def test_every_controller_completes(tiny_canneal, controller):
+    result = Simulator(tiny_canneal, controller=controller).run()
+    assert result.accesses > 0
+    assert result.controller == controller
+
+
+def test_compresso_latency_worse_than_uncompressed(tiny_canneal):
+    base = Simulator(tiny_canneal, controller="uncompressed").run()
+    compresso = Simulator(tiny_canneal, controller="compresso").run()
+    assert compresso.avg_l3_miss_latency_ns > base.avg_l3_miss_latency_ns + 5
+    assert compresso.performance < base.performance
+
+
+def test_tmcc_latency_close_to_uncompressed(tiny_graph):
+    """Figure 18: TMCC within a few ns of no compression."""
+    base = Simulator(tiny_graph, controller="uncompressed").run()
+    compresso = Simulator(tiny_graph, controller="compresso").run()
+    tmcc = Simulator(
+        tiny_graph, controller="tmcc",
+        dram_budget_bytes=compresso.dram_used_bytes,
+    ).run()
+    assert tmcc.avg_l3_miss_latency_ns < compresso.avg_l3_miss_latency_ns
+    gap_tmcc = tmcc.avg_l3_miss_latency_ns - base.avg_l3_miss_latency_ns
+    gap_compresso = compresso.avg_l3_miss_latency_ns - base.avg_l3_miss_latency_ns
+    assert gap_tmcc < gap_compresso / 2
+
+
+def test_tmcc_cte_hit_rate_beats_compresso(tiny_graph):
+    compresso = Simulator(tiny_graph, controller="compresso").run()
+    tmcc = Simulator(
+        tiny_graph, controller="tmcc",
+        dram_budget_bytes=compresso.dram_used_bytes,
+    ).run()
+    assert tmcc.cte_hit_rate > compresso.cte_hit_rate
+
+
+def test_fig5_most_cte_misses_follow_tlb_misses(tiny_graph):
+    compresso = Simulator(tiny_graph, controller="compresso").run()
+    tmcc = Simulator(
+        tiny_graph, controller="tmcc",
+        dram_budget_bytes=compresso.dram_used_bytes,
+    ).run()
+    # Paper: ~89% on average for page-level CTEs.
+    assert tmcc.cte_misses_after_tlb_miss > 0.6
+
+
+def test_tmcc_uses_parallel_path(tiny_graph):
+    compresso = Simulator(tiny_graph, controller="compresso").run()
+    tmcc = Simulator(
+        tiny_graph, controller="tmcc",
+        dram_budget_bytes=compresso.dram_used_bytes,
+    ).run()
+    fractions = tmcc.path_fractions
+    assert fractions["parallel_ok"] > 0.01
+    assert fractions["cte_hit"] > 0.3
+
+
+def test_budgeted_tmcc_reports_ml2_pages(tiny_canneal):
+    compresso = Simulator(tiny_canneal, controller="compresso").run()
+    tmcc = Simulator(
+        tiny_canneal, controller="tmcc",
+        dram_budget_bytes=compresso.dram_used_bytes,
+    ).run()
+    assert tmcc.extra["ml2_pages"] > 0
+    assert tmcc.dram_used_bytes <= compresso.dram_used_bytes * 1.02
+
+
+def test_huge_pages_mode_runs(tiny_graph):
+    result = Simulator(tiny_graph, controller="tmcc", huge_pages=True).run()
+    assert result.accesses > 0
+    # Huge pages slash TLB misses (16 MB reach per entry).
+    base = Simulator(tiny_graph, controller="tmcc").run()
+    assert result.tlb_miss_rate < base.tlb_miss_rate
+
+
+def test_determinism(tiny_canneal):
+    a = Simulator(tiny_canneal, controller="tmcc", seed=5).run()
+    b = Simulator(tiny_canneal, controller="tmcc", seed=5).run()
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.l3_misses == b.l3_misses

@@ -1,0 +1,55 @@
+"""Integration tests: the simulator in virtualized (2D-walk) mode."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return workload_by_name("omnetpp", max_accesses=20_000, scale=0.1)
+
+
+def test_virtualized_mode_runs(workload):
+    result = Simulator(workload, controller="tmcc", virtualized=True).run()
+    assert result.accesses > 0
+    assert result.l3_misses > 0
+
+
+def test_virtualized_rejects_huge_pages(workload):
+    with pytest.raises(ValueError):
+        Simulator(workload, virtualized=True, huge_pages=True)
+
+
+def test_2d_walks_cost_more_than_native(workload):
+    """Virtualization inflates walk traffic; TLB misses hurt more."""
+    native = Simulator(workload, controller="uncompressed", seed=5).run()
+    virtual = Simulator(workload, controller="uncompressed", seed=5,
+                        virtualized=True).run()
+    assert virtual.performance < native.performance
+    assert virtual.l3_misses >= native.l3_misses
+
+
+def test_tmcc_harvests_from_host_ptbs(workload):
+    sim = Simulator(workload, controller="tmcc", virtualized=True)
+    result = sim.run()
+    compressed = sim.controller.stats.counter("ptbs_compressed").value
+    assert compressed > 0
+    fractions = result.path_fractions
+    assert fractions["parallel_ok"] > 0.0 or fractions["cte_hit"] > 0.9
+
+
+def test_tmcc_still_beats_compresso_under_virtualization(workload):
+    compresso = Simulator(workload, controller="compresso", seed=3,
+                          virtualized=True).run()
+    tmcc = Simulator(workload, controller="tmcc", seed=3, virtualized=True,
+                     dram_budget_bytes=compresso.dram_used_bytes).run()
+    assert tmcc.avg_l3_miss_latency_ns < compresso.avg_l3_miss_latency_ns
+    assert tmcc.performance > compresso.performance
+
+
+def test_virtualized_determinism(workload):
+    a = Simulator(workload, controller="tmcc", virtualized=True, seed=11).run()
+    b = Simulator(workload, controller="tmcc", virtualized=True, seed=11).run()
+    assert a.elapsed_ns == b.elapsed_ns

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_lists_all(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("pageRank", "mcf", "omnetpp", "canneal", "triCount"):
+        assert name in out
+
+
+def test_deflate_command(capsys):
+    assert main(["deflate", "graph", "--pages", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "round-trip OK" in out
+    assert "our ASIC Deflate" in out
+
+
+def test_deflate_rejects_unknown_profile(capsys):
+    assert main(["deflate", "nonsense"]) == 2
+    assert "unknown profile" in capsys.readouterr().err
+
+
+def test_compare_command_small(capsys):
+    assert main(["compare", "omnetpp", "--accesses", "6000",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "TMCC speedup" in out
+    assert "Compresso" in out
+
+
+def test_sweep_command_small(capsys):
+    assert main(["sweep", "omnetpp", "--accesses", "6000",
+                 "--scale", "0.05", "--points", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "perf vs Compresso" in out
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "doom3"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_trace_export_and_run(tmp_path, capsys):
+    path = str(tmp_path / "omnetpp.rtrc")
+    assert main(["trace", "export", "omnetpp", path,
+                 "--accesses", "4000", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "accesses" in out
+    assert main(["trace", "run", path, "--controller", "compresso"]) == 0
+    out = capsys.readouterr().out
+    assert "LLC misses" in out
+
+
+def test_trace_run_rejects_unknown_controller(tmp_path, capsys):
+    path = str(tmp_path / "t.rtrc")
+    main(["trace", "export", "omnetpp", path,
+          "--accesses", "2000", "--scale", "0.05"])
+    capsys.readouterr()
+    assert main(["trace", "run", path, "--controller", "hal9000"]) == 2
+    assert "unknown controller" in capsys.readouterr().err

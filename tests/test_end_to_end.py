@@ -1,0 +1,73 @@
+"""End-to-end regression: the paper's headline shapes at test scale.
+
+A fast (~1 min) version of the benchmark harness's core claims, kept in
+the test suite so any refactor that breaks the reproduction's *story* --
+not just its code -- fails CI.  Bands are wide; the benchmarks measure
+the precise numbers.
+"""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.compression.block import SelectiveBlockCompressor
+from repro.compression.deflate import DeflateCodec, DeflateTimingModel, IBMDeflateModel
+from repro.sim.experiments import iso_capacity_comparison, run_workload
+from repro.workloads.dumps import dump_pages
+from repro.workloads.suite import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def iso():
+    workload = workload_by_name("shortestPath", max_accesses=50_000, scale=0.5)
+    return workload, iso_capacity_comparison(workload)
+
+
+def test_headline_claim_1_performance_at_iso_capacity(iso):
+    """TMCC improves performance without sacrificing effective capacity."""
+    _, result = iso
+    assert result.speedup > 1.05
+    assert result.tmcc.dram_used_bytes <= result.compresso.dram_used_bytes * 1.02
+
+
+def test_headline_claim_2_translation_latency(iso):
+    """TMCC hides the compression translation; Compresso pays ~20 ns."""
+    workload, result = iso
+    base = run_workload(workload, "uncompressed")
+    compresso_penalty = (result.compresso.avg_l3_miss_latency_ns
+                         - base.avg_l3_miss_latency_ns)
+    tmcc_penalty = (result.tmcc.avg_l3_miss_latency_ns
+                    - base.avg_l3_miss_latency_ns)
+    assert compresso_penalty > 10
+    assert tmcc_penalty < compresso_penalty / 2
+
+
+def test_headline_claim_3_deflate_speedup():
+    """The memory-specialized Deflate is ~4x IBM's on 4 KB pages."""
+    codec = DeflateCodec()
+    timing = DeflateTimingModel()
+    ibm = IBMDeflateModel()
+    page = dump_pages("pageRank", num_pages=1)[0]
+    compressed = codec.compress(page)
+    assert codec.decompress(compressed) == page
+    full_speedup = ibm.decompress_latency_ns(PAGE_SIZE) / \
+        timing.decompress_latency_ns(compressed)
+    half_speedup = ibm.decompress_latency_ns(PAGE_SIZE, PAGE_SIZE // 2) / \
+        timing.decompress_latency_ns(compressed, PAGE_SIZE // 2)
+    assert full_speedup > 2.5
+    assert half_speedup > 4.0
+
+
+def test_headline_claim_4_compression_ratio_gap():
+    """Page-level Deflate roughly doubles block-level compression."""
+    codec = DeflateCodec()
+    blocks = SelectiveBlockCompressor()
+    pages = dump_pages("pageRank", num_pages=8)
+    deflate_total = sum(codec.compressed_size(p) for p in pages)
+    block_total = sum(blocks.compressed_page_size(p) for p in pages)
+    assert block_total > 1.7 * deflate_total
+
+
+def test_headline_claim_5_cte_reach(iso):
+    """Page-level CTEs cache far better than block-level ones."""
+    _, result = iso
+    assert result.tmcc.cte_hit_rate > result.compresso.cte_hit_rate + 0.1

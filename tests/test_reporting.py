@@ -1,0 +1,44 @@
+"""Tests for table rendering and report assembly."""
+
+import pytest
+
+from repro.reporting import Report, ReproducedTable, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(("name", "value"), [("a", 1), ("longer", 22)])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) == {"-"}
+    assert len({len(line) for line in (lines[0], lines[2], lines[3])}) <= 2
+    assert "longer" in lines[3]
+
+
+def test_render_table_validation():
+    with pytest.raises(ValueError):
+        render_table((), [])
+    with pytest.raises(ValueError):
+        render_table(("a", "b"), [("only-one",)])
+
+
+def test_reproduced_table_render_and_markdown():
+    table = ReproducedTable("Figure X", ("workload", "speedup"))
+    table.add_row("mcf", "1.13")
+    table.add_row("canneal", "1.20")
+    rendered = table.render()
+    assert rendered.startswith("=== Figure X ===")
+    md = table.to_markdown()
+    assert "| workload | speedup |" in md
+    assert "| mcf | 1.13 |" in md
+
+
+def test_report_write(tmp_path):
+    report = Report("Reproduction")
+    table = ReproducedTable("T", ("a",))
+    table.add_row(1)
+    report.add(table)
+    path = report.write(tmp_path / "out" / "report.md")
+    text = path.read_text()
+    assert text.startswith("# Reproduction")
+    assert "## T" in text
+    assert "| 1 |" in text

@@ -1,0 +1,118 @@
+"""Integration tests across the VM substrate.
+
+Exercise TLB + page-walk cache + walker + PTB codec together the way the
+simulator does, including the Figure 6 -> Figure 7 chain: populated page
+tables produce PTBs that the hardware codec can almost always compress.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import DeterministicRNG
+from repro.vm.pagetable import (
+    FrameAllocator,
+    PageTable,
+    PageTablePopulator,
+)
+from repro.vm.ptbcodec import PTBCodec
+from repro.vm.pte import pte_present, pte_ppn
+from repro.vm.tlb import TLB, PageWalkCache
+from repro.vm.walker import PageWalker
+
+
+def build_system(pages=8192, seed=3, noise=0.0006):
+    allocator = FrameAllocator(pages * 4 + 4096, DeterministicRNG(seed))
+    table = PageTable(allocator)
+    populator = PageTablePopulator(table, allocator, DeterministicRNG(seed + 1),
+                                   l1_status_noise=noise)
+    populator.populate_region(0x10_0000, pages)
+    populator.finalize_noise()
+    return table, populator
+
+
+def test_walker_translations_agree_with_table():
+    table, populator = build_system(pages=2048)
+    walker = PageWalker(table)
+    for vpn, ppn in list(populator.mapped_pages.items())[::97]:
+        assert walker.walk(vpn).ppn == ppn
+
+
+def test_tlb_plus_walker_full_flow():
+    """The simulator's translation loop: TLB filter, walk on miss."""
+    table, populator = build_system(pages=4096)
+    tlb = TLB(entries=128)
+    walker = PageWalker(table)
+    rng = DeterministicRNG(9)
+    vpns = list(populator.mapped_pages)
+    for _ in range(2000):
+        vpn = vpns[rng.zipf_index(len(vpns))]
+        if not tlb.lookup(vpn):
+            walker.walk(vpn)
+            tlb.fill(vpn)
+    # Zipf reuse means real hits; small TLB vs 4096 pages means real misses.
+    assert 0.05 < tlb.stats.hit_rate < 0.98
+    assert walker.ptb_fetches.value >= walker.walks.value
+
+
+def test_pwc_cuts_walk_fetches_dramatically():
+    """A larger PWC keeps revisited regions' upper levels cached."""
+    allocator = FrameAllocator(1 << 20, DeterministicRNG(5))
+    table = PageTable(allocator)
+    # 32 vpns spread across distinct L2/L3 subtrees (stride 2^18 pages).
+    vpns = [i << 18 for i in range(32)]
+    for vpn in vpns:
+        table.map_page(vpn, allocator.alloc())
+    tiny_walker = PageWalker(table, PageWalkCache(1, 1, 1))
+    big_walker = PageWalker(table, PageWalkCache())
+    for _ in range(2):  # two passes: the second is where PWCs differ
+        for vpn in vpns:
+            tiny_walker.walk(vpn)
+            big_walker.walk(vpn)
+    assert big_walker.ptb_fetches.value < tiny_walker.ptb_fetches.value
+
+
+def test_most_leaf_ptbs_compress_with_embedded_slots():
+    """Figure 6 consequence: >99% of populated leaf PTBs accept CTEs."""
+    table, _ = build_system(pages=16384, noise=0.0006)
+    codec = PTBCodec()
+    total = 0
+    compressible = 0
+    for page in table.table_pages(level=1):
+        for ptb_index in range(64):
+            ptes = page.ptb_entries(ptb_index)
+            if not all(pte_present(p) for p in ptes):
+                continue
+            total += 1
+            if codec.compressible(ptes):
+                compressible += 1
+    assert total > 1000
+    assert compressible / total > 0.99
+
+
+def test_compressed_table_ptbs_roundtrip_and_carry_ctes():
+    table, _ = build_system(pages=1024)
+    codec = PTBCodec()
+    page = next(iter(table.table_pages(level=1)))
+    ptes = page.ptb_entries(3)
+    compressed = codec.compress(ptes)
+    assert compressed is not None
+    assert codec.decompress(compressed) == ptes
+    # Embed a CTE for each PTE's target page and read them all back.
+    for pte in ptes:
+        ppn = pte_ppn(pte)
+        assert compressed.set_cte_for_ppn(ppn, codec.ppn_bits, ppn ^ 0x5A5)
+    for pte in ptes:
+        ppn = pte_ppn(pte)
+        assert compressed.embedded_cte_for_ppn(ppn, codec.ppn_bits) == ppn ^ 0x5A5
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2047))
+def test_walk_is_idempotent_property(index):
+    table, populator = build_system(pages=2048, seed=4)
+    walker = PageWalker(table)
+    vpn = sorted(populator.mapped_pages)[index]
+    first = walker.walk(vpn)
+    second = walker.walk(vpn)
+    assert first.ppn == second.ppn
+    # The second walk fetches no more than the first (PWC warmed).
+    assert len(second.fetches) <= len(first.fetches)

@@ -1,0 +1,109 @@
+"""Tests for 2D (nested) page walks."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.vm.nested import GUEST_FETCH, HOST_FETCH, NestedPageWalker
+from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
+
+
+@pytest.fixture
+def nested_setup():
+    """A guest address space backed 1:1-ish by a host address space."""
+    guest_allocator = FrameAllocator(1 << 18, DeterministicRNG(1))
+    guest_table = PageTable(guest_allocator)
+    guest_populator = PageTablePopulator(guest_table, guest_allocator,
+                                         DeterministicRNG(2))
+    guest_populator.populate_region(0x8_0000, 1024)
+
+    host_allocator = FrameAllocator(1 << 19, DeterministicRNG(3))
+    host_table = PageTable(host_allocator)
+    host_populator = PageTablePopulator(host_table, host_allocator,
+                                        DeterministicRNG(4))
+    # The host maps every guest frame the guest uses (data + table pages).
+    guest_frames = sorted(
+        set(guest_populator.mapped_pages.values())
+        | {page.ppn for page in guest_table.table_pages()}
+    )
+    host_populator.populate_region(0, max(guest_frames) + 1)
+    return guest_table, host_table, guest_populator
+
+
+def test_cold_2d_walk_costs_up_to_24_accesses(nested_setup):
+    guest_table, host_table, populator = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    result = walker.walk(0x8_0000)
+    host = [f for f in result.fetches if f[0] == HOST_FETCH]
+    guest = [f for f in result.fetches if f[0] == GUEST_FETCH]
+    assert len(guest) == 4  # one PTB per guest level
+    assert len(host) <= 20
+    assert len(result.fetches) <= 24
+    assert len(result.fetches) > 8  # genuinely two-dimensional
+
+
+def test_warm_2d_walk_is_cheaper(nested_setup):
+    """The host page-walk cache absorbs most host-side fetches on reuse."""
+    guest_table, host_table, _ = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    cold = walker.walk(0x8_0000)
+    warm = walker.walk(0x8_0001)
+    assert len(warm.fetches) < len(cold.fetches)
+    warm_host = [f for f in warm.fetches if f[0] == HOST_FETCH]
+    assert len(warm_host) <= 5  # ~one leaf PTB per host translation
+
+
+def test_2d_translation_is_correct(nested_setup):
+    guest_table, host_table, populator = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    guest_vpn = 0x8_0010
+    result = walker.walk(guest_vpn)
+    expected_guest_ppn = populator.mapped_pages[guest_vpn]
+    assert result.guest_ppn == expected_guest_ppn
+    assert result.host_ppn == host_table.translate(expected_guest_ppn)
+
+
+def test_unmapped_guest_page_raises(nested_setup):
+    guest_table, host_table, _ = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    with pytest.raises(KeyError):
+        walker.walk(0xDEAD_BEEF)
+
+
+def test_host_ptbs_feed_tmcc_harvesting(nested_setup):
+    """Every host PTB fetch of a 2D walk is harvestable by TMCC, exactly
+    like a native walk (Section V-A3's 2D discussion)."""
+    from repro.core.compmodel import PageCompressionModel
+    from repro.core.config import SystemConfig
+    from repro.core.tmcc import TMCCController
+    from repro.dram.system import DRAMSystem
+    from repro.workloads.content import ContentSynthesizer
+
+    guest_table, host_table, populator = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    result = walker.walk(0x8_0000)
+
+    controller = TMCCController(SystemConfig(), DRAMSystem())
+    model = PageCompressionModel(ContentSynthesizer("graph", 5).page,
+                                 sample_pages=4, seed=5)
+    host_data = sorted(set(populator.mapped_pages.values()))
+    host_ppns = [host_table.translate(g) for g in host_data]
+    hotness = {ppn: i for i, ppn in enumerate(host_ppns)}
+    controller.initialize(host_ppns, hotness,
+                          [p.ppn for p in host_table.table_pages()], model)
+    for kind, level, address in result.fetches:
+        if kind == HOST_FETCH:
+            controller.note_ptb_fetch(level, address,
+                                      host_table.ptb_at(address),
+                                      huge_leaf=False)
+    assert len(controller._cte_buffer) > 0
+    assert controller.stats.counter("ptbs_compressed").value > 0
+
+
+def test_fetch_counters(nested_setup):
+    guest_table, host_table, _ = nested_setup
+    walker = NestedPageWalker(guest_table, host_table)
+    walker.walk(0x8_0000)
+    walker.walk(0x8_0100)
+    assert walker.walks.value == 2
+    assert walker.total_fetches.value >= 10
+    assert walker.host_ptb_fetch_count > 0

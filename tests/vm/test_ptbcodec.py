@@ -1,0 +1,117 @@
+"""Tests for the compressed-PTB encoding and embedded CTE slots."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import TIB
+from repro.vm.pte import STATUS_DEFAULT_DATA, make_pte, pte_ppn
+from repro.vm.ptbcodec import PTBCodec
+
+
+def uniform_ptb(base_ppn=0x1000, status=STATUS_DEFAULT_DATA):
+    return [make_pte(base_ppn + i, status) for i in range(8)]
+
+
+def test_capacity_matches_section_va5():
+    """1 TB -> 8 CTEs, 4 TB -> 7, 16 TB -> 6 (paper's exact numbers)."""
+    assert PTBCodec(dram_bytes=1 * TIB).embeddable_ctes == 8
+    assert PTBCodec(dram_bytes=4 * TIB).embeddable_ctes == 7
+    assert PTBCodec(dram_bytes=16 * TIB).embeddable_ctes == 6
+
+
+def test_cte_bits_formula():
+    codec = PTBCodec(dram_bytes=1 * TIB)
+    assert codec.cte_bits == 28  # log2(1 TB / 4 KB)
+    assert codec.ppn_bits == 30  # 4x expansion
+
+
+def test_compress_roundtrip():
+    codec = PTBCodec()
+    ptes = uniform_ptb()
+    compressed = codec.compress(ptes)
+    assert compressed is not None
+    assert codec.decompress(compressed) == ptes
+
+
+def test_divergent_status_bits_block_compression():
+    codec = PTBCodec()
+    ptes = uniform_ptb()
+    ptes[3] = make_pte(pte_ppn(ptes[3]), STATUS_DEFAULT_DATA | (1 << 6))  # dirty
+    assert codec.compress(ptes) is None
+    assert not codec.compressible(ptes)
+
+
+def test_divergent_high_ppn_bits_block_compression():
+    codec = PTBCodec(dram_bytes=1 * TIB)
+    ptes = uniform_ptb()
+    ptes[0] = make_pte((1 << 31) | 5, STATUS_DEFAULT_DATA)  # above the 30-bit space
+    assert codec.compress(ptes) is None
+
+
+def test_compressible_validates_length():
+    with pytest.raises(ValueError):
+        PTBCodec().compressible([0] * 4)
+
+
+def test_embedded_cte_lookup_and_install():
+    codec = PTBCodec()
+    ptes = uniform_ptb(base_ppn=0x2000)
+    compressed = codec.compress(ptes)
+    ppn = 0x2003
+    assert compressed.embedded_cte_for_ppn(ppn, codec.ppn_bits) is None
+    assert compressed.set_cte_for_ppn(ppn, codec.ppn_bits, cte=0xBEEF)
+    assert compressed.embedded_cte_for_ppn(ppn, codec.ppn_bits) == 0xBEEF
+    # A PPN not in this PTB has no slot.
+    assert not compressed.set_cte_for_ppn(0x9999, codec.ppn_bits, cte=1)
+    assert compressed.embedded_cte_for_ppn(0x9999, codec.ppn_bits) is None
+
+
+def test_cte_capacity_limits_slots():
+    codec = PTBCodec(dram_bytes=16 * TIB)  # only 6 slots
+    ptes = uniform_ptb(base_ppn=0x3000)
+    compressed = codec.compress(ptes)
+    assert compressed.cte_capacity == 6
+    # Slots 0..5 accept CTEs; slots 6,7 refuse.
+    for i in range(8):
+        ok = compressed.set_cte_for_ppn(0x3000 + i, codec.ppn_bits, cte=i)
+        assert ok == (i < 6)
+
+
+def test_software_update_preserves_matching_ctes():
+    codec = PTBCodec()
+    ptes = uniform_ptb(base_ppn=0x4000)
+    compressed = codec.compress(ptes)
+    compressed.set_cte_for_ppn(0x4001, codec.ppn_bits, cte=0x11)
+    compressed.set_cte_for_ppn(0x4002, codec.ppn_bits, cte=0x22)
+    # OS remaps entry 2 to a new frame; entry 1 unchanged.
+    new_ptes = list(ptes)
+    new_ptes[2] = make_pte(0x5555, STATUS_DEFAULT_DATA)
+    merged = codec.merge_software_update(compressed, new_ptes)
+    assert merged is not None
+    assert merged.embedded_cte_for_ppn(0x4001, codec.ppn_bits) == 0x11
+    assert merged.embedded_cte_for_ppn(0x5555, codec.ppn_bits) is None
+
+
+def test_software_update_to_incompressible_returns_none():
+    codec = PTBCodec()
+    compressed = codec.compress(uniform_ptb())
+    new_ptes = uniform_ptb()
+    new_ptes[0] = make_pte(1, STATUS_DEFAULT_DATA | (1 << 8))
+    assert codec.merge_software_update(compressed, new_ptes) is None
+
+
+def test_codec_validates_config():
+    with pytest.raises(ValueError):
+        PTBCodec(dram_bytes=1024)
+    with pytest.raises(ValueError):
+        PTBCodec(expansion_factor=0)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 28) - 9),
+       st.integers(min_value=0, max_value=(1 << 12) - 1))
+def test_roundtrip_property(base_ppn, status_low):
+    codec = PTBCodec()
+    ptes = [make_pte(base_ppn + i, status_low) for i in range(8)]
+    compressed = codec.compress(ptes)
+    assert compressed is not None
+    assert codec.decompress(compressed) == ptes

@@ -1,0 +1,78 @@
+"""Tests for PTE bit layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import pte as pte_mod
+from repro.vm.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    make_pte,
+    pte_present,
+    pte_ppn,
+    pte_set_flags,
+    pte_status,
+    pte_with_ppn,
+    status_to_fields,
+)
+
+
+def test_make_and_extract():
+    pte = make_pte(0x12345, PTE_PRESENT | PTE_WRITABLE, 0x800)
+    assert pte_ppn(pte) == 0x12345
+    assert pte_present(pte)
+    assert pte_status(pte) == (0x800 << 12) | (PTE_PRESENT | PTE_WRITABLE)
+
+
+def test_make_pte_validates_fields():
+    with pytest.raises(ValueError):
+        make_pte(1 << 40)
+    with pytest.raises(ValueError):
+        make_pte(0, status_low=1 << 12)
+    with pytest.raises(ValueError):
+        make_pte(0, status_high=1 << 12)
+
+
+def test_pte_with_ppn_preserves_status():
+    pte = make_pte(0x1000, PTE_PRESENT | PTE_ACCESSED, 0x7FF)
+    updated = pte_with_ppn(pte, 0x2000)
+    assert pte_ppn(updated) == 0x2000
+    assert pte_status(updated) == pte_status(pte)
+
+
+def test_set_flags():
+    pte = make_pte(5, PTE_PRESENT)
+    dirty = pte_set_flags(pte, PTE_DIRTY)
+    assert dirty & PTE_DIRTY
+    assert pte_ppn(dirty) == 5
+    with pytest.raises(ValueError):
+        pte_set_flags(pte, 1 << 13)
+
+
+def test_status_roundtrip():
+    low, high = status_to_fields((0xABC << 12) | 0x123)
+    assert low == 0x123
+    assert high == 0xABC
+
+
+def test_not_present():
+    assert not pte_present(make_pte(7, status_low=0))
+
+
+@given(st.integers(min_value=0, max_value=(1 << 40) - 1),
+       st.integers(min_value=0, max_value=(1 << 12) - 1),
+       st.integers(min_value=0, max_value=(1 << 12) - 1))
+def test_pte_fields_roundtrip_property(ppn, low, high):
+    pte = make_pte(ppn, low, high)
+    assert pte_ppn(pte) == ppn
+    assert pte_status(pte) == (high << 12) | low
+    l2, h2 = status_to_fields(pte_status(pte))
+    assert (l2, h2) == (low, high)
+
+
+def test_default_statuses_are_present():
+    assert pte_mod.STATUS_DEFAULT_DATA & PTE_PRESENT
+    assert pte_mod.STATUS_READONLY & PTE_PRESENT
+    assert not (pte_mod.STATUS_READONLY & PTE_WRITABLE)

@@ -1,0 +1,172 @@
+"""Tests for the TLB, page-walk cache, and page walker."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
+from repro.vm.tlb import TLB, PageWalkCache
+from repro.vm.walker import PageWalker
+
+
+# ----------------------------------------------------------------------
+# TLB
+# ----------------------------------------------------------------------
+
+def test_tlb_hit_after_fill():
+    tlb = TLB(entries=4)
+    assert not tlb.lookup(1)
+    tlb.fill(1)
+    assert tlb.lookup(1)
+    assert tlb.stats.hits == 1
+    assert tlb.stats.total == 2
+
+
+def test_tlb_lru_eviction():
+    tlb = TLB(entries=2)
+    tlb.fill(1)
+    tlb.fill(2)
+    tlb.lookup(1)  # 1 becomes MRU
+    tlb.fill(3)    # evicts 2
+    assert tlb.contains(1)
+    assert not tlb.contains(2)
+    assert tlb.contains(3)
+
+
+def test_tlb_refill_does_not_grow():
+    tlb = TLB(entries=2)
+    tlb.fill(1)
+    tlb.fill(1)
+    tlb.fill(2)
+    assert tlb.occupancy == 2
+
+
+def test_tlb_invalidate_and_flush():
+    tlb = TLB(entries=8)
+    tlb.fill(5)
+    tlb.invalidate(5)
+    assert not tlb.contains(5)
+    tlb.fill(6)
+    tlb.flush()
+    assert tlb.occupancy == 0
+
+
+def test_tlb_validates_entries():
+    with pytest.raises(ValueError):
+        TLB(entries=0)
+
+
+# ----------------------------------------------------------------------
+# Page-walk cache
+# ----------------------------------------------------------------------
+
+def test_pwc_cold_walk_fetches_all_levels():
+    pwc = PageWalkCache()
+    assert pwc.first_fetch_level(0x12345) == 4
+
+
+def test_pwc_warm_walk_fetches_only_leaf():
+    pwc = PageWalkCache()
+    pwc.fill(0x12345)
+    assert pwc.first_fetch_level(0x12345) == 1
+
+
+def test_pwc_partial_reuse_across_neighbouring_regions():
+    pwc = PageWalkCache()
+    pwc.fill(0x12345)
+    # Same L3 subtree, different L2 entry -> start at level 2.
+    sibling = (0x12345 & ~((1 << 18) - 1)) | (0x155 << 9)
+    assert pwc.first_fetch_level(sibling) == 2
+
+
+def test_pwc_capacity_eviction():
+    pwc = PageWalkCache(l4_entries=1, l3_entries=1, l2_entries=1)
+    pwc.fill(0)
+    pwc.fill(1 << 35)  # different everything; evicts the first tags
+    assert pwc.first_fetch_level(0) == 4
+
+
+def test_pwc_flush():
+    pwc = PageWalkCache()
+    pwc.fill(0x1)
+    pwc.flush()
+    assert pwc.first_fetch_level(0x1) == 4
+
+
+# ----------------------------------------------------------------------
+# Page walker
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def populated():
+    allocator = FrameAllocator(1 << 20, DeterministicRNG(3))
+    table = PageTable(allocator)
+    populator = PageTablePopulator(table, allocator, DeterministicRNG(4))
+    populator.populate_region(0x1000, 4096)
+    return table
+
+
+def test_walker_cold_then_warm(populated):
+    walker = PageWalker(populated)
+    first = walker.walk(0x1000)
+    assert len(first.fetches) == 4
+    assert [level for level, _ in first.fetches] == [4, 3, 2, 1]
+    second = walker.walk(0x1001)
+    assert len(second.fetches) == 1  # PWC covers levels 4..2
+    assert second.fetches[0][0] == 1
+    assert walker.walks.value == 2
+    assert walker.ptb_fetches.value == 5
+
+
+def test_walker_returns_translation(populated):
+    walker = PageWalker(populated)
+    result = walker.walk(0x1010)
+    assert result.ppn == populated.translate(0x1010)
+    assert not result.huge
+
+
+def test_walker_huge_page():
+    allocator = FrameAllocator(1 << 16, DeterministicRNG(5))
+    table = PageTable(allocator)
+    table.map_huge_page(vpn=0x400, ppn=0x800)
+    walker = PageWalker(table)
+    result = walker.walk(0x400 + 7)
+    assert result.huge
+    assert result.fetches[-1][0] == 2
+
+
+def test_walker_unmapped_raises(populated):
+    walker = PageWalker(populated)
+    with pytest.raises(KeyError):
+        walker.walk(0xDEAD_BEEF)
+
+
+# ----------------------------------------------------------------------
+# Additional TLB edge cases
+# ----------------------------------------------------------------------
+
+def test_tlb_huge_page_tags_share_entries():
+    """A unified TLB tags huge pages by their 2 MiB-aligned vpn, so all
+    512 base pages of one huge page share one entry."""
+    tlb = TLB(entries=4)
+    huge_tag = 0x400 >> 9
+    tlb.fill(huge_tag)
+    for offset in (0, 1, 255, 511):
+        assert tlb.contains((0x400 + offset) >> 9)
+
+
+def test_tlb_contains_does_not_touch_recency():
+    tlb = TLB(entries=2)
+    tlb.fill(1)
+    tlb.fill(2)
+    tlb.contains(1)  # must NOT refresh 1
+    tlb.fill(3)      # evicts 1 (still LRU)
+    assert not tlb.contains(1)
+
+
+def test_pwc_levels_are_independent():
+    pwc = PageWalkCache(l4_entries=8, l3_entries=1, l2_entries=1)
+    pwc.fill(0x0)
+    pwc.fill(1 << 18)  # same L4/L3 subtree? different L2 tag -> evicts L2
+    # L3 entry for the second fill evicted the first's L3 tag too (1 entry),
+    # but the L4 tag (8 entries) survives for both.
+    assert pwc.first_fetch_level(0x0) in (2, 3)

@@ -14,7 +14,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List
 
+from repro.common.registry import Registry
 
+#: Prefetcher implementations, discoverable by name (``next_line``,
+#: ``stride``) for hierarchy configuration and out-of-tree designs.
+PREFETCHER_REGISTRY: Registry = Registry("prefetcher")
+
+register_prefetcher = PREFETCHER_REGISTRY.register
+
+
+@register_prefetcher
 class NextLinePrefetcher:
     """Prefetch block+1 on a miss, with automatic turn-off.
 
@@ -23,6 +32,8 @@ class NextLinePrefetcher:
     were demanded, the prefetcher turns itself off (and re-evaluates after
     another window of misses).
     """
+
+    name = "next_line"
 
     def __init__(self, window: int = 64, min_accuracy: float = 0.25) -> None:
         self.window = window
@@ -66,6 +77,7 @@ class NextLinePrefetcher:
                 self._recent_results.clear()
 
 
+@register_prefetcher
 class StridePrefetcher:
     """Region-based stride detection with configurable degree.
 
@@ -73,6 +85,8 @@ class StridePrefetcher:
     consecutive accesses with the same stride it prefetches ``degree``
     blocks ahead along that stride.
     """
+
+    name = "stride"
 
     def __init__(self, degree: int = 2, table_entries: int = 64) -> None:
         if degree < 1:

@@ -1,18 +1,25 @@
 """Command-line interface.
 
-Four subcommands cover the library's main entry points:
+Five subcommands cover the library's main entry points:
 
-- ``workloads`` -- list the paper's workloads and their footprints.
+- ``workloads`` -- list the paper's workloads (``--json`` for machines).
 - ``deflate``   -- compress synthetic pages of one content profile and
   report size/latency under our ASIC vs block-level vs IBM's ASIC.
+- ``run``       -- simulate one workload under one controller, with the
+  structured-instrumentation surface (``--emit-json`` for the namespaced
+  metric tree, ``--trace-events`` for a JSONL event stream).
 - ``compare``   -- the headline experiment: TMCC vs Compresso at equal
   DRAM usage for one workload.
 - ``sweep``     -- TMCC's performance/capacity trade-off curve.
 
+Controllers come from :data:`repro.core.CONTROLLER_REGISTRY`; pass
+``--controller list`` to ``run`` (or ``trace run``) to enumerate them.
+
 Examples::
 
-    python -m repro.cli workloads
+    python -m repro.cli workloads --json
     python -m repro.cli deflate graph
+    python -m repro.cli run mcf --controller tmcc --emit-json
     python -m repro.cli compare canneal --accesses 40000 --scale 0.4
     python -m repro.cli sweep mcf --points 4
 """
@@ -20,6 +27,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -34,16 +42,42 @@ from repro.sim.experiments import iso_capacity_comparison, run_workload
 from repro.workloads.content import CONTENT_PROFILES, ContentSynthesizer
 from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
 
+_WORKLOAD_KINDS = {
+    "mcf": "SPEC-like pointer chase",
+    "omnetpp": "SPEC-like event queue",
+    "canneal": "PARSEC-like annealing",
+}
 
-def _cmd_workloads(_args: argparse.Namespace) -> int:
+
+def _controller_names() -> List[str]:
+    from repro.core import available_controllers
+
+    return available_controllers()
+
+
+def _check_controller(name: str) -> bool:
+    """True if ``name`` is registered; otherwise print the choices."""
+    names = _controller_names()
+    if name in names:
+        return True
+    print(f"unknown controller {name!r}; choose from {names}",
+          file=sys.stderr)
+    return False
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        records = [
+            {"name": name,
+             "kind": _WORKLOAD_KINDS.get(name, "GraphBIG-like kernel")}
+            for name in PAPER_WORKLOAD_NAMES
+        ]
+        print(json.dumps(records, indent=2))
+        return 0
     print(f"{'workload':14s} {'kind':22s}")
-    kinds = {
-        "mcf": "SPEC-like pointer chase",
-        "omnetpp": "SPEC-like event queue",
-        "canneal": "PARSEC-like annealing",
-    }
     for name in PAPER_WORKLOAD_NAMES:
-        print(f"{name:14s} {kinds.get(name, 'GraphBIG-like kernel'):22s}")
+        print(f"{name:14s} "
+              f"{_WORKLOAD_KINDS.get(name, 'GraphBIG-like kernel'):22s}")
     return 0
 
 
@@ -77,11 +111,90 @@ def _cmd_deflate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.controller == "list":
+        for name in _controller_names():
+            print(name)
+        return 0
+    if args.workload is None:
+        print("a workload is required unless --controller list",
+              file=sys.stderr)
+        return 2
+    if args.workload not in PAPER_WORKLOAD_NAMES:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {PAPER_WORKLOAD_NAMES}", file=sys.stderr)
+        return 2
+    if not _check_controller(args.controller):
+        return 2
+
+    trace_file = None
+    if args.trace_events:  # fail fast, before the expensive trace build
+        try:
+            trace_file = open(args.trace_events, "w")
+        except OSError as error:
+            print(f"cannot write trace events to {args.trace_events!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+
+    from repro.sim.multicore import MultiCoreSimulator
+    from repro.sim.simulator import Simulator
+
+    workload = workload_by_name(args.workload, max_accesses=args.accesses,
+                                scale=args.scale)
+    if args.cores > 1:
+        sim = MultiCoreSimulator(workload, num_cores=args.cores,
+                                 controller=args.controller, seed=args.seed)
+    else:
+        sim = Simulator(workload, controller=args.controller, seed=args.seed)
+
+    if trace_file is not None:
+        sim.context.bus.subscribe_all(
+            lambda event: trace_file.write(
+                json.dumps(event.as_dict(), sort_keys=True) + "\n"))
+    try:
+        result = sim.run()
+    finally:
+        if trace_file is not None:
+            sim.context.bus.unsubscribe_all()
+            trace_file.close()
+
+    if args.emit_json:
+        from repro.sim.instrument import nest_metrics
+
+        record = result.as_dict()
+        record["metrics_tree"] = nest_metrics(result.metrics)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    print(f"{workload.name} / {args.controller}: {result.accesses} accesses, "
+          f"{result.l3_misses} LLC misses, "
+          f"avg miss latency {result.avg_l3_miss_latency_ns:.1f} ns, "
+          f"perf {result.performance:.1f}/us, "
+          f"capacity {result.compression_ratio:.2f}x")
+    if args.trace_events:
+        print(f"trace events written to {args.trace_events}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload, max_accesses=args.accesses,
                                 scale=args.scale)
     uncompressed = run_workload(workload, "uncompressed")
     iso = iso_capacity_comparison(workload)
+    if getattr(args, "emit_json", False):
+        from repro.sim.instrument import nest_metrics
+
+        systems = {}
+        for label, result in (("uncompressed", uncompressed),
+                              ("compresso", iso.compresso),
+                              ("tmcc", iso.tmcc)):
+            record = result.as_dict()
+            record["metrics_tree"] = nest_metrics(result.metrics)
+            systems[label] = record
+        print(json.dumps({"workload": args.workload,
+                          "speedup": iso.speedup,
+                          "systems": systems},
+                         indent=2, sort_keys=True))
+        return 0
     print(f"{args.workload}: footprint "
           f"{workload.footprint_pages * 4 // 1024} MiB, "
           f"{workload.access_count} accesses")
@@ -127,12 +240,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               f"({workload.footprint_pages} footprint pages) to {args.path}")
         return 0
     # run
-    from repro.sim.simulator import CONTROLLERS, Simulator
-
-    if args.controller not in CONTROLLERS:
-        print(f"unknown controller {args.controller!r}; "
-              f"choose from {sorted(CONTROLLERS)}", file=sys.stderr)
+    if args.controller == "list":
+        for name in _controller_names():
+            print(name)
+        return 0
+    if not _check_controller(args.controller):
         return 2
+    if args.path is None:
+        print("a trace path is required unless --controller list",
+              file=sys.stderr)
+        return 2
+    from repro.sim.simulator import Simulator
+
     workload = workload_from_trace(args.path)
     result = Simulator(workload, controller=args.controller).run()
     print(f"{workload.name}: {result.accesses} accesses, "
@@ -150,12 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("workloads", help="list the paper's workloads")
+    workloads = commands.add_parser("workloads",
+                                    help="list the paper's workloads")
+    workloads.add_argument("--json", action="store_true",
+                           help="emit the list as JSON")
 
     deflate = commands.add_parser("deflate", help="compress synthetic pages")
     deflate.add_argument("profile", help="content profile (e.g. graph, mcf)")
     deflate.add_argument("--pages", type=int, default=12)
     deflate.add_argument("--seed", type=int, default=1)
+
+    run = commands.add_parser(
+        "run", help="simulate one workload under one controller")
+    run.add_argument("workload", nargs="?",
+                     help="workload name (omit with --controller list)")
+    run.add_argument("--controller", default="tmcc",
+                     help="registered controller name, or 'list'")
+    run.add_argument("--accesses", type=int, default=40_000)
+    run.add_argument("--scale", type=float, default=0.4)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--cores", type=int, default=1,
+                     help=">1 uses the multi-core engine")
+    run.add_argument("--emit-json", action="store_true",
+                     help="emit the result plus the namespaced metric tree")
+    run.add_argument("--trace-events", metavar="PATH",
+                     help="write instrumentation events as JSONL")
 
     for name, help_text in (("compare", "TMCC vs Compresso at iso-capacity"),
                             ("sweep", "performance/capacity trade-off")):
@@ -165,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", type=float, default=0.4)
         if name == "sweep":
             sub.add_argument("--points", type=int, default=4)
+        if name == "compare":
+            sub.add_argument("--emit-json", action="store_true",
+                             help="emit per-system results with metric trees")
 
     trace = commands.add_parser(
         "trace", help="export a workload trace / simulate a trace file")
@@ -174,9 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("path")
     export.add_argument("--accesses", type=int, default=40_000)
     export.add_argument("--scale", type=float, default=0.4)
-    run = trace_sub.add_parser("run", help="simulate a trace file")
-    run.add_argument("path")
-    run.add_argument("--controller", default="tmcc")
+    trace_run = trace_sub.add_parser("run", help="simulate a trace file")
+    trace_run.add_argument("path", nargs="?",
+                           help="trace file (omit with --controller list)")
+    trace_run.add_argument("--controller", default="tmcc")
 
     return parser
 
@@ -186,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "workloads": _cmd_workloads,
         "deflate": _cmd_deflate,
+        "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,

@@ -1,0 +1,97 @@
+"""Decorator-based component registries.
+
+The simulation stack is assembled from pluggable components -- memory
+controllers, prefetchers, recency policies.  Each family keeps a
+:class:`Registry` that maps a stable string name to the implementing
+class; implementations self-register at import time with the registry's
+``register`` decorator::
+
+    CONTROLLER_REGISTRY = Registry("controller")
+
+    @CONTROLLER_REGISTRY.register
+    class TMCCController(TwoLevelController):
+        name = "tmcc"
+
+Benchmarks, the CLI, and out-of-tree extensions then discover components
+by name (``registry.get("tmcc")``, ``registry.names()``) instead of
+importing hardwired dicts, so adding a controller is one decorated class
+-- no simulator edits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named string -> class mapping with a registration decorator."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, entry: Optional[T] = None, *,
+                 name: Optional[str] = None) -> Callable:
+        """Register a class, usable bare or with an explicit name.
+
+        ``@registry.register`` takes the name from the class's ``name``
+        attribute; ``@registry.register(name="alias")`` overrides it.
+        """
+        def decorate(cls: T) -> T:
+            key = name if name is not None else getattr(cls, "name", None)
+            if not key:
+                raise ValueError(
+                    f"{self.kind} {cls!r} needs a non-empty 'name' attribute "
+                    f"or an explicit name= argument"
+                )
+            self.add(key, cls)
+            return cls
+
+        if entry is not None:  # bare @registry.register
+            return decorate(entry)
+        return decorate
+
+    def add(self, name: str, entry: T) -> None:
+        existing = self._entries.get(name)
+        if existing is not None and existing is not entry:
+            raise ValueError(
+                f"{self.kind} name {name!r} already registered to {existing!r}"
+            )
+        self._entries[name] = entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; choose from {self.names()}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the registered class."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -8,6 +8,7 @@ each component can expose a uniform ``stats()`` mapping.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping
 
@@ -24,12 +25,21 @@ def geomean(values: Iterable[float]) -> float:
     """Geometric mean; 0.0 for an empty sequence.
 
     The paper reports compression ratios and speedups as geometric means.
+    Zero entries (a workload that recorded nothing, e.g. after a crash or
+    an all-warm-up run) are skipped with a warning rather than poisoning
+    the whole aggregate; negative entries are still a caller bug and
+    raise.
     """
     items = list(values)
+    if any(v < 0 for v in items):
+        raise ValueError("geomean requires non-negative values")
+    zeros = sum(1 for v in items if v == 0)
+    if zeros:
+        warnings.warn(f"geomean: skipping {zeros} zero value(s)",
+                      stacklevel=2)
+        items = [v for v in items if v > 0]
     if not items:
         return 0.0
-    if any(v <= 0 for v in items):
-        raise ValueError("geomean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in items) / len(items))
 
 

@@ -22,8 +22,6 @@ from repro.compression.deflate import (
     DeflateConfig,
     DeflateTimingModel,
 )
-from repro.compression.huffman import ReducedTreeConfig
-from repro.compression.lz import LZConfig
 
 
 @dataclass(frozen=True)

@@ -19,10 +19,21 @@
 
 from repro.core.config import SystemConfig
 from repro.core.compmodel import PageCompressionModel, PageRecord
-from repro.core.base import MemoryController, MissResult
+from repro.core.base import (
+    CONTROLLER_REGISTRY,
+    MemoryController,
+    MissResult,
+    available_controllers,
+    create_controller,
+    register_controller,
+)
 from repro.core.uncompressed import UncompressedController
-from repro.core.compresso import CompressoController
-from repro.core.osinspired import OSInspiredController
+from repro.core.compresso import CompressoController, CompressoLLCVictimController
+from repro.core.osinspired import (
+    OSInspiredController,
+    OSInspiredFastDeflateController,
+)
+from repro.core.twolevel import TwoLevelController
 from repro.core.tmcc import TMCCController
 
 __all__ = [
@@ -31,8 +42,15 @@ __all__ = [
     "PageRecord",
     "MemoryController",
     "MissResult",
+    "CONTROLLER_REGISTRY",
+    "available_controllers",
+    "create_controller",
+    "register_controller",
     "UncompressedController",
     "CompressoController",
+    "CompressoLLCVictimController",
     "OSInspiredController",
+    "OSInspiredFastDeflateController",
+    "TwoLevelController",
     "TMCCController",
 ]

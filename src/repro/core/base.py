@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.registry import Registry
 from repro.common.stats import StatGroup
 from repro.common.units import BLOCK_SIZE, PAGE_SIZE
 from repro.core.compmodel import PageCompressionModel
@@ -23,6 +24,32 @@ PATH_PARALLEL_OK = "parallel_ok"
 PATH_PARALLEL_MISMATCH = "parallel_mismatch"
 PATH_SERIAL_NO_CTE = "serial_no_cte"
 PATH_ML2 = "ml2"
+
+#: All access-path labels, in Figure 19's reporting order.
+ACCESS_PATHS = (PATH_CTE_HIT, PATH_PARALLEL_OK, PATH_PARALLEL_MISMATCH,
+                PATH_SERIAL_NO_CTE, PATH_ML2)
+
+#: The memory-controller registry.  Controller classes self-register with
+#: ``@CONTROLLER_REGISTRY.register`` (the key is the class's ``name``);
+#: simulators, benchmarks, and the CLI instantiate by name.
+CONTROLLER_REGISTRY: Registry = Registry("controller")
+
+register_controller = CONTROLLER_REGISTRY.register
+
+
+def available_controllers() -> list:
+    """Registered controller names, importing the built-ins first."""
+    from repro import core  # noqa: F401  (imports register the built-ins)
+
+    return CONTROLLER_REGISTRY.names()
+
+
+def create_controller(name: str, config: SystemConfig, dram: DRAMSystem,
+                      seed: int = 0) -> "MemoryController":
+    """Instantiate a registered controller by name."""
+    from repro import core  # noqa: F401  (imports register the built-ins)
+
+    return CONTROLLER_REGISTRY.create(name, config, dram, seed=seed)
 
 
 @dataclass
@@ -39,13 +66,27 @@ class MemoryController:
 
     name = "base"
 
-    def __init__(self, config: SystemConfig, dram: DRAMSystem) -> None:
+    def __init__(self, config: SystemConfig, dram: DRAMSystem,
+                 seed: int = 0) -> None:
         self.config = config
         self.dram = dram
+        self.seed = seed
         self.stats = StatGroup(self.name)
+        #: Instrumentation handle; harmless no-op bus until a context
+        #: attaches its own via :meth:`attach_instrumentation`.
+        self._probe = None
         #: ppn -> nominal DRAM page for address formation.
         self._dram_page: Dict[int, int] = {}
         self._cte_table_base = 0  # set at initialize()
+
+    def attach_instrumentation(self, probe) -> None:
+        """Adopt a context-provided :class:`~repro.sim.instrument.Probe`.
+
+        The probe shares this controller's :class:`StatGroup`, so counters
+        recorded either way agree; the bus gains the controller's trace
+        events (access paths, migrations).
+        """
+        self._probe = probe
 
     # ------------------------------------------------------------------
     # Setup
@@ -121,13 +162,15 @@ class MemoryController:
 
     def path_fractions(self) -> Dict[str, float]:
         """Figure 19: how ML1 reads were served, as fractions."""
-        paths = (PATH_CTE_HIT, PATH_PARALLEL_OK, PATH_PARALLEL_MISMATCH,
-                 PATH_SERIAL_NO_CTE, PATH_ML2)
-        counts = {p: self.stats.counter(f"path_{p}").value for p in paths}
+        counts = {p: self.stats.counter(f"path_{p}").value for p in ACCESS_PATHS}
         total = sum(counts.values())
         if not total:
-            return {p: 0.0 for p in paths}
+            return {p: 0.0 for p in ACCESS_PATHS}
         return {p: c / total for p, c in counts.items()}
 
-    def _record_path(self, path: str) -> None:
+    def _record_path(self, path: str, now_ns: float = 0.0,
+                     latency_ns: float = 0.0, ppn: int = -1) -> None:
         self.stats.counter(f"path_{path}").increment()
+        if self._probe is not None:
+            self._probe.emit("access_path", now_ns, path=path,
+                             latency_ns=latency_ns, ppn=ppn)

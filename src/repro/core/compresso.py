@@ -24,6 +24,7 @@ from repro.core.base import (
     MissResult,
     PATH_CTE_HIT,
     PATH_SERIAL_NO_CTE,
+    register_controller,
 )
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
@@ -35,6 +36,7 @@ from repro.mc.ctecache import CTECache
 CHUNK_BYTES = 512
 
 
+@register_controller
 class CompressoController(MemoryController):
     """Block-level hardware memory compression for capacity.
 
@@ -54,7 +56,7 @@ class CompressoController(MemoryController):
 
     def __init__(self, config: SystemConfig, dram: DRAMSystem,
                  seed: int = 0, cte_victim_in_llc: bool = False) -> None:
-        super().__init__(config, dram)
+        super().__init__(config, dram, seed=seed)
         self.cte_cache = CTECache(
             size_bytes=config.compresso_cte_cache_bytes,
             cte_size=CTE_SIZE_BLOCKLEVEL,
@@ -149,7 +151,7 @@ class CompressoController(MemoryController):
             latency = cte_ns + data_ns
             self._fill_cte_cache(ppn)
             path = PATH_SERIAL_NO_CTE
-        self._record_path(path)
+        self._record_path(path, now_ns, latency, ppn)
         self.stats.histogram("miss_latency_ns").record(latency)
         return MissResult(latency, path)
 
@@ -234,6 +236,7 @@ class CompressoController(MemoryController):
         return hits / total if total else 0.0
 
 
+@register_controller
 class CompressoLLCVictimController(CompressoController):
     """Compresso with the rejected CTEs-in-LLC victim scheme enabled."""
 

@@ -9,10 +9,12 @@ optimizations against this design.
 
 from __future__ import annotations
 
+from repro.core.base import register_controller
 from repro.core.compmodel import PageRecord
 from repro.core.twolevel import TwoLevelController
 
 
+@register_controller
 class OSInspiredController(TwoLevelController):
     """Two-level memory, serial translation, IBM-speed Deflate."""
 
@@ -28,6 +30,7 @@ class OSInspiredController(TwoLevelController):
         return record.ibm_compress_ns
 
 
+@register_controller
 class OSInspiredFastDeflateController(TwoLevelController):
     """Ablation point: fast Deflate but still serial translation.
 

@@ -24,16 +24,15 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import (
-    MissResult,
     PATH_ML2,
     PATH_PARALLEL_MISMATCH,
     PATH_PARALLEL_OK,
-    PATH_SERIAL_NO_CTE,
+    register_controller,
 )
 from repro.core.config import SystemConfig
 from repro.core.twolevel import TwoLevelController
 from repro.dram.system import DRAMSystem
-from repro.mc.cte import CTE_SIZE_PAGE, PageCTE
+from repro.mc.cte import PageCTE
 from repro.vm.pte import pte_ppn, pte_present
 from repro.vm.ptbcodec import PTBCodec
 
@@ -41,6 +40,7 @@ from repro.vm.ptbcodec import PTBCodec
 CTE_BUFFER_ENTRIES = 64
 
 
+@register_controller
 class TMCCController(TwoLevelController):
     """The paper's design."""
 

@@ -47,7 +47,7 @@ class TwoLevelController(MemoryController):
 
     def __init__(self, config: SystemConfig, dram: DRAMSystem,
                  seed: int = 0) -> None:
-        super().__init__(config, dram)
+        super().__init__(config, dram, seed=seed)
         self.cte_cache = CTECache(
             size_bytes=config.tmcc_cte_cache_bytes,
             cte_size=CTE_SIZE_PAGE,
@@ -208,7 +208,7 @@ class TwoLevelController(MemoryController):
 
         if not cte.in_ml2 and not cte.is_incompressible:
             self.recency.on_access(ppn)
-        self._record_path(path)
+        self._record_path(path, now_ns, latency, ppn)
         self.stats.histogram("miss_latency_ns").record(latency)
         return MissResult(latency, path, in_ml2=in_ml2)
 
@@ -287,6 +287,9 @@ class TwoLevelController(MemoryController):
         self.dram.stream(chunk * PAGE_SIZE, 64, now_ns, is_write=True)
         self.recency.push_hot(ppn)
         self.stats.counter("ml2_to_ml1_migrations").increment()
+        if self._probe is not None:
+            self._probe.emit("migration", now_ns, direction="ml2_to_ml1",
+                             ppn=ppn)
 
     # ------------------------------------------------------------------
     # Eviction pump (ML1 -> ML2)
@@ -338,6 +341,9 @@ class TwoLevelController(MemoryController):
             foreground_ns += self._compress_ns(record)
             self.cte_cache.invalidate_page(victim)
             self.stats.counter("ml1_to_ml2_evictions").increment()
+            if self._probe is not None:
+                self._probe.emit("migration", now_ns, direction="ml1_to_ml2",
+                                 ppn=victim)
             evicted += 1
         return foreground_ns
 

@@ -8,9 +8,10 @@ DRAM) and the denominator for effective-capacity claims.
 
 from __future__ import annotations
 
-from repro.core.base import MemoryController
+from repro.core.base import MemoryController, register_controller
 
 
+@register_controller
 class UncompressedController(MemoryController):
     """The base class already implements identity placement."""
 

@@ -13,11 +13,22 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from repro.common.registry import Registry
 from repro.common.rng import DeterministicRNG
 
+#: Recency-policy implementations, discoverable by name.  The paper's
+#: design is the 1%-sampled LRU; alternatives (e.g. full LRU for
+#: sensitivity studies) register here without simulator edits.
+RECENCY_REGISTRY: Registry = Registry("recency policy")
 
+register_recency_policy = RECENCY_REGISTRY.register
+
+
+@register_recency_policy
 class RecencyList:
     """Sampled-LRU list of ML1 pages."""
+
+    name = "sampled_lru"
 
     #: Bytes per element: two list pointers + PPN, rounded to hardware
     #: convenience (the paper charges 0.4% of DRAM for the list).

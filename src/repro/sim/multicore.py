@@ -13,22 +13,31 @@ plays the same role of generating concurrent independent request streams).
 Cores advance their own clocks; shared-resource contention appears
 through the DRAM channel's busy horizon and through L3/CTE-cache
 interference.  The reported performance is aggregate throughput.
+
+Like the single-core engine, construction runs through a
+:class:`~repro.sim.context.SimContext`; per-core components live in the
+component tree under ``core<i>.*`` and shared ones at the top level, so
+the metrics registry exposes, e.g., ``core0.tlb.hit_rate`` next to the
+shared ``controller.cte_cache.hit_rate``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.sa_cache import SetAssociativeCache
-from repro.common.rng import DeterministicRNG
 from repro.common.units import PAGE_SIZE
+from repro.core import (  # noqa: F401  (importing registers the built-ins)
+    CONTROLLER_REGISTRY,
+    TwoLevelController,
+    create_controller,
+)
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
-from repro.core.twolevel import TwoLevelController
-from repro.core.uncompressed import UncompressedController
+from repro.dram.system import DRAMSystem
+from repro.sim.context import SimContext
 from repro.sim.results import SimResult
-from repro.sim.simulator import CONTROLLERS
 from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
 from repro.vm.tlb import TLB
 from repro.vm.walker import PageWalker
@@ -60,34 +69,46 @@ class MultiCoreSimulator:
         dram_budget_bytes: Optional[int] = None,
         seed: int = 1,
         model: Optional[PageCompressionModel] = None,
+        context: Optional[SimContext] = None,
     ) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
-        if controller not in CONTROLLERS:
-            raise ValueError(f"unknown controller {controller!r}")
+        if controller not in CONTROLLER_REGISTRY:
+            raise ValueError(f"unknown controller {controller!r}; "
+                             f"choose from {CONTROLLER_REGISTRY.names()}")
+        self.context = context or SimContext(system, seed)
         self.workload = workload
         self.num_cores = num_cores
         self.controller_name = controller
-        self.system = system or SystemConfig()
+        self.system = self.context.system
 
         total_frames = workload.footprint_pages * 4 + 4096
-        allocator = FrameAllocator(total_frames, DeterministicRNG(seed))
+        allocator = FrameAllocator(total_frames, self.context.rng("frames"))
         self.table = PageTable(allocator)
         populator = PageTablePopulator(self.table, allocator,
-                                       DeterministicRNG(seed + 1))
+                                       self.context.rng("populate"))
         populator.populate_region(workload.base_vpn, workload.footprint_pages)
         populator.finalize_noise()
         self._vpn_to_ppn = dict(populator.mapped_pages)
 
-        from repro.dram.system import DRAMSystem
-
         shared_l3 = SetAssociativeCache(self.system.cache.l3_size,
                                         self.system.cache.l3_assoc, "l3")
+        self.context.metrics.attach("cache.l3", shared_l3.stats)
         self.cores = [
             _Core(i, self.system, self.table, shared_l3)
             for i in range(num_cores)
         ]
-        self.dram = DRAMSystem(self.system.dram)
+        for core in self.cores:
+            prefix = f"core{core.index}"
+            self.context.register(f"{prefix}.tlb", core.tlb)
+            self.context.register(f"{prefix}.walker.pwc", core.walker.pwc)
+            self.context.metrics.attach(f"{prefix}.walker.walks",
+                                        core.walker.walks)
+            self.context.metrics.attach(f"{prefix}.cache.l1",
+                                        core.hierarchy.l1.stats)
+            self.context.metrics.attach(f"{prefix}.cache.l2",
+                                        core.hierarchy.l2.stats)
+        self.dram = self.context.register("dram", DRAMSystem(self.system.dram))
         self.model = model or PageCompressionModel(
             workload.content,
             sample_pages=self.system.compression_samples,
@@ -96,10 +117,17 @@ class MultiCoreSimulator:
             ibm=self.system.ibm_timing,
             seed=seed,
         )
-        self.controller = CONTROLLERS[controller](self.system, self.dram,
-                                                  seed=seed) \
-            if controller != "uncompressed" else UncompressedController(
-                self.system, self.dram)
+        self.controller = self.context.register(
+            "controller",
+            create_controller(controller, self.system, self.dram, seed=seed),
+        )
+        self.controller.attach_instrumentation(
+            self.context.probe("controller", stats=self.controller.stats))
+        self.context.metrics.attach("controller.paths",
+                                    self.controller.path_fractions)
+        if hasattr(self.controller, "cte_cache"):
+            self.context.register("controller.cte_cache",
+                                  self.controller.cte_cache)
 
         data_ppns, hotness = self._hotness()
         table_ppns = [page.ppn for page in self.table.table_pages()]
@@ -111,11 +139,11 @@ class MultiCoreSimulator:
                                        self.model)
 
     def _hotness(self):
-        counts = {}
+        counts: Dict[int, int] = {}
         for vaddr, _ in self.workload.trace:
             vpn = vaddr >> 12
             counts[vpn] = counts.get(vpn, 0) + 1
-        hotness = {}
+        hotness: Dict[int, int] = {}
         data_ppns = []
         rank = 0
         for vpn in sorted(counts, key=counts.get, reverse=True):
@@ -174,6 +202,7 @@ class MultiCoreSimulator:
                 measured += 1
 
         end = max(c.now_ns for c in self.cores)
+        self.context.clock.now_ns = end
         elapsed = end - (measure_start or 0.0)
         return self._result(measured, max(1.0, elapsed))
 
@@ -182,6 +211,9 @@ class MultiCoreSimulator:
         vpn = vaddr >> 12
         stall = 0.0
         if not core.tlb.lookup(vpn):
+            if self.context.bus.active:
+                self.context.bus.publish("sim.tlb_miss", core.now_ns,
+                                         vpn=vpn, core=core.index)
             try:
                 walk = core.walker.walk(vpn)
             except KeyError:
@@ -217,6 +249,10 @@ class MultiCoreSimulator:
                                             core.now_ns + stall)
         return stall
 
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Every component's statistics under namespaced keys."""
+        return self.context.metrics.snapshot()
+
     def _result(self, accesses: int, elapsed_ns: float) -> SimResult:
         controller = self.controller
         tlb_total = sum(c.tlb.stats.total for c in self.cores)
@@ -238,6 +274,7 @@ class MultiCoreSimulator:
             dram_used_bytes=controller.dram_used_bytes(),
             footprint_bytes=self.workload.footprint_pages * PAGE_SIZE,
             path_fractions=controller.path_fractions(),
+            metrics=self.metrics_snapshot(),
         )
         if isinstance(controller, TwoLevelController):
             result.ml2_access_rate = controller.ml2_access_rate()

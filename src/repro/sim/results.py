@@ -42,6 +42,10 @@ class SimResult:
     ml2_access_rate: float = 0.0
     path_fractions: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Full namespaced metric dump (``tlb.hit_rate``, ``controller.paths.
+    #: cte_hit``, ...) from the run's MetricsRegistry; the key scheme is
+    #: documented in docs/architecture.md.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def performance(self) -> float:

@@ -12,41 +12,37 @@ nanoseconds accumulate per access; the wall clock advances by compute
 time plus the fraction of the memory stall the 4-wide OoO core cannot
 hide (``mlp_stall_factor``).  Absolute IPC is not claimed -- only the
 relative comparisons the paper makes.
+
+Construction runs through a :class:`~repro.sim.context.SimContext`: it
+owns the RNG streams, the clock, the component tree, and the
+instrumentation surface (event bus + metrics registry).  Controllers are
+instantiated by name from the controller registry
+(:data:`repro.core.base.CONTROLLER_REGISTRY`), so new designs plug in by
+decorating a class -- no simulator edits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
-from repro.common.rng import DeterministicRNG
 from repro.common.units import PAGE_SIZE
-from repro.core.base import MemoryController, PATH_CTE_HIT, PATH_ML2
-from repro.core.compmodel import PageCompressionModel
-from repro.core.compresso import CompressoController, CompressoLLCVictimController
-from repro.core.config import SystemConfig
-from repro.core.osinspired import (
-    OSInspiredController,
-    OSInspiredFastDeflateController,
+from repro.core import (  # noqa: F401  (importing registers the built-ins)
+    CONTROLLER_REGISTRY,
+    TMCCController,
+    TwoLevelController,
+    create_controller,
 )
-from repro.core.tmcc import TMCCController
-from repro.core.twolevel import TwoLevelController
-from repro.core.uncompressed import UncompressedController
+from repro.core.base import PATH_CTE_HIT
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
+from repro.sim.context import SimContext
 from repro.sim.results import SimResult
 from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
 from repro.vm.tlb import TLB
 from repro.vm.walker import PageWalker
 from repro.workloads.trace import Workload
-
-CONTROLLERS: Dict[str, Type[MemoryController]] = {
-    "uncompressed": UncompressedController,
-    "compresso": CompressoController,
-    "compresso_llc_victim": CompressoLLCVictimController,
-    "osinspired": OSInspiredController,
-    "osinspired_fastml2": OSInspiredFastDeflateController,
-    "tmcc": TMCCController,
-}
 
 
 class Simulator:
@@ -63,15 +59,18 @@ class Simulator:
         model: Optional[PageCompressionModel] = None,
         placement_drift: float = 0.03,
         virtualized: bool = False,
+        context: Optional[SimContext] = None,
     ) -> None:
-        if controller not in CONTROLLERS:
+        if controller not in CONTROLLER_REGISTRY:
             raise ValueError(f"unknown controller {controller!r}; "
-                             f"choose from {sorted(CONTROLLERS)}")
+                             f"choose from {CONTROLLER_REGISTRY.names()}")
         if virtualized and huge_pages:
             raise ValueError("virtualized mode models 4 KB guest pages only")
+        self.context = context or SimContext(system, seed)
         self.workload = workload
         self.controller_name = controller
-        self.system = system or SystemConfig()
+        self.system = self.context.system
+        self.clock = self.context.clock
         self.huge_pages = huge_pages
         #: Run the workload inside a VM: TLB misses take 2D nested walks
         #: through a host page table (Figure 12b); TMCC harvests embedded
@@ -83,14 +82,14 @@ class Simulator:
         #: ``placement_drift`` fraction of warm pages start cold in ML2,
         #: producing the residual ML2 traffic Figure 21 reports.
         self.placement_drift = placement_drift
-        self._placement_rng = DeterministicRNG(seed ^ 0xD81F7)
+        self._placement_rng = self.context.rng("placement")
 
         # -- virtual memory setup ---------------------------------------
         total_frames = workload.footprint_pages * 4 + 4096
-        self.allocator = FrameAllocator(total_frames, DeterministicRNG(seed))
+        self.allocator = FrameAllocator(total_frames, self.context.rng("frames"))
         self.table = PageTable(self.allocator)
         populator = PageTablePopulator(self.table, self.allocator,
-                                       DeterministicRNG(seed + 1))
+                                       self.context.rng("populate"))
         if huge_pages:
             huge_count = -(-workload.footprint_pages // 512)
             base = workload.base_vpn & ~0x1FF
@@ -101,10 +100,19 @@ class Simulator:
             populator.finalize_noise()
             self._vpn_to_ppn = dict(populator.mapped_pages)
 
-        self.tlb = TLB(entries=self.system.tlb_entries)
-        self.walker = PageWalker(self.table)
-        self.hierarchy = CacheHierarchy(self.system.cache)
-        self.dram = DRAMSystem(self.system.dram)
+        self.tlb = self.context.register(
+            "tlb", TLB(entries=self.system.tlb_entries))
+        self.walker = self.context.register("walker", PageWalker(self.table))
+        self.context.register("walker.pwc", self.walker.pwc)
+        self.context.metrics.attach("walker.walks", self.walker.walks)
+        self.context.metrics.attach("walker.ptb_fetches",
+                                    self.walker.ptb_fetches)
+        self.hierarchy = self.context.register(
+            "cache", CacheHierarchy(self.system.cache))
+        self.context.metrics.attach("cache.l1", self.hierarchy.l1.stats)
+        self.context.metrics.attach("cache.l2", self.hierarchy.l2.stats)
+        self.context.metrics.attach("cache.l3", self.hierarchy.l3.stats)
+        self.dram = self.context.register("dram", DRAMSystem(self.system.dram))
 
         # -- virtualization: a host page table behind the guest's --------
         self.host_table: Optional[PageTable] = None
@@ -118,16 +126,19 @@ class Simulator:
                 | {page.ppn for page in self.table.table_pages()}
             )
             host_allocator = FrameAllocator(
-                (max(guest_frames) + 1) * 2 + 4096, DeterministicRNG(seed + 7)
+                (max(guest_frames) + 1) * 2 + 4096,
+                self.context.rng("host_frames"),
             )
             self.host_table = PageTable(host_allocator)
             host_populator = PageTablePopulator(
-                self.host_table, host_allocator, DeterministicRNG(seed + 8)
+                self.host_table, host_allocator,
+                self.context.rng("host_populate"),
             )
             host_populator.populate_region(0, max(guest_frames) + 1)
             host_populator.finalize_noise()
             self._gfn_to_host = dict(host_populator.mapped_pages)
-            self.nested_walker = NestedPageWalker(self.table, self.host_table)
+            self.nested_walker = self.context.register(
+                "nested_walker", NestedPageWalker(self.table, self.host_table))
 
         # -- compression model and controller ---------------------------
         self.model = model or PageCompressionModel(
@@ -138,9 +149,24 @@ class Simulator:
             ibm=self.system.ibm_timing,
             seed=seed,
         )
-        self.controller = CONTROLLERS[controller](self.system, self.dram, seed=seed) \
-            if controller != "uncompressed" else UncompressedController(
-                self.system, self.dram)
+        self.controller = self.context.register(
+            "controller",
+            create_controller(controller, self.system, self.dram, seed=seed),
+        )
+        self.controller.attach_instrumentation(
+            self.context.probe("controller", stats=self.controller.stats))
+        self.context.metrics.attach("controller.paths",
+                                    self.controller.path_fractions)
+        if hasattr(self.controller, "cte_cache"):
+            self.context.register("controller.cte_cache",
+                                  self.controller.cte_cache)
+        if hasattr(self.controller, "migration"):
+            migration = self.context.register("controller.migration",
+                                              self.controller.migration)
+            self.context.metrics.attach("controller.migration.stalls",
+                                        migration.stalls)
+            self.context.metrics.attach("controller.migration.stall_ns",
+                                        migration.stall_ns)
 
         data_ppns, hotness = self._data_pages_and_hotness()
         if self.virtualized:
@@ -157,15 +183,16 @@ class Simulator:
         if isinstance(self.controller, TwoLevelController):
             self.controller.initialize(data_ppns, hotness, table_ppns,
                                        self.model, dram_budget_bytes)
+            self.context.metrics.attach("controller.ml2", self._ml2_metrics)
         else:
             self.controller.initialize(data_ppns, hotness, table_ppns, self.model)
 
         # -- per-run counters -------------------------------------------
-        self._now_ns = 0.0
         self._fig5_cte_misses = 0
         self._fig5_after_tlb = 0
         self._l3_data_misses = 0
         self._tlb_misses = 0
+        self.context.metrics.attach("sim", self._sim_metrics)
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -235,19 +262,20 @@ class Simulator:
         for index, (vaddr, is_write) in enumerate(trace):
             if index == warmup_end:
                 self._reset_stats()
-                measure_start_ns = self._now_ns
-            self._now_ns += compute_ns
+                measure_start_ns = self.clock.now_ns
+            self.clock.advance(compute_ns)
             stall_ns = self._one_access(vaddr, is_write)
-            self._now_ns += stall_ns * config.mlp_stall_factor
+            self.clock.advance(stall_ns * config.mlp_stall_factor)
             if index >= warmup_end:
                 measured_accesses += 1
 
         return self._build_result(measured_accesses,
-                                  self._now_ns - measure_start_ns)
+                                  self.clock.now_ns - measure_start_ns)
 
     def _one_access(self, vaddr: int, is_write: bool) -> float:
         """Serve one trace record; returns the access's stall time (ns)."""
         config = self.system
+        bus = self.context.bus
         vpn = vaddr >> 12
         tag = (vpn >> 9) if self.huge_pages else vpn
         stall_ns = 0.0
@@ -255,6 +283,8 @@ class Simulator:
 
         if tlb_missed:
             self._tlb_misses += 1
+            if bus.active:
+                bus.publish("sim.tlb_miss", self.clock.now_ns, vpn=vpn)
             stall_ns += self._page_walk(vpn)
             self.tlb.fill(tag)
 
@@ -268,7 +298,7 @@ class Simulator:
             self._l3_data_misses += 1
             block_index = (vaddr & (PAGE_SIZE - 1)) >> 6
             miss = self.controller.serve_l3_miss(
-                ppn, block_index, self._now_ns + stall_ns, is_write
+                ppn, block_index, self.clock.now_ns + stall_ns, is_write
             )
             stall_ns += miss.latency_ns
             self._track_fig5(miss.path, after_tlb=tlb_missed)
@@ -291,7 +321,7 @@ class Simulator:
             if result.l3_miss:
                 miss = self.controller.serve_l3_miss(
                     ptb_address >> 12, (ptb_address >> 6) & 63,
-                    self._now_ns + stall_ns, False,
+                    self.clock.now_ns + stall_ns, False,
                 )
                 stall_ns += miss.latency_ns
                 self._track_fig5(miss.path, after_tlb=True)
@@ -323,7 +353,7 @@ class Simulator:
             if result.l3_miss:
                 miss = self.controller.serve_l3_miss(
                     address >> 12, (address >> 6) & 63,
-                    self._now_ns + stall_ns, False,
+                    self.clock.now_ns + stall_ns, False,
                 )
                 stall_ns += miss.latency_ns
                 self._track_fig5(miss.path, after_tlb=True)
@@ -338,7 +368,7 @@ class Simulator:
     def _drain_writebacks(self, blocks, stall_ns: float) -> None:
         for block in blocks:
             self.controller.serve_writeback(
-                block >> 6, block & 63, self._now_ns + stall_ns
+                block >> 6, block & 63, self.clock.now_ns + stall_ns
             )
 
     def _track_fig5(self, path: str, after_tlb: bool) -> None:
@@ -354,21 +384,30 @@ class Simulator:
     # Statistics plumbing
     # ------------------------------------------------------------------
 
+    def _sim_metrics(self) -> Dict[str, float]:
+        """The simulator's own counters, as a metrics source."""
+        return {
+            "tlb_misses": self._tlb_misses,
+            "l3_data_misses": self._l3_data_misses,
+            "fig5_cte_misses": self._fig5_cte_misses,
+            "fig5_after_tlb": self._fig5_after_tlb,
+            "now_ns": self.clock.now_ns,
+        }
+
+    def _ml2_metrics(self) -> Dict[str, float]:
+        controller = self.controller
+        return {
+            "access_rate": controller.ml2_access_rate(),
+            "ml1_pages": controller.ml1_page_count,
+            "ml2_pages": controller.ml2_page_count,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Every component's statistics under namespaced keys."""
+        return self.context.metrics.snapshot()
+
     def _reset_stats(self) -> None:
-        self.tlb.stats.reset()
-        self.walker.pwc.stats.reset()
-        self.walker.walks.reset()
-        self.walker.ptb_fetches.reset()
-        self.hierarchy.l1.stats.reset()
-        self.hierarchy.l2.stats.reset()
-        self.hierarchy.l3.stats.reset()
-        self.dram.stats.reset()
-        self.controller.stats.reset()
-        if hasattr(self.controller, "cte_cache"):
-            self.controller.cte_cache.stats.reset()
-        if hasattr(self.controller, "migration"):
-            self.controller.migration.stalls.reset()
-            self.controller.migration.stall_ns.reset()
+        self.context.reset_metrics()
         self._fig5_cte_misses = 0
         self._fig5_after_tlb = 0
         self._l3_data_misses = 0
@@ -406,6 +445,7 @@ class Simulator:
             dram_used_bytes=controller.dram_used_bytes(),
             footprint_bytes=self.workload.footprint_pages * PAGE_SIZE,
             path_fractions=controller.path_fractions(),
+            metrics=self.metrics_snapshot(),
         )
         if isinstance(controller, TwoLevelController):
             result.ml2_access_rate = controller.ml2_access_rate()

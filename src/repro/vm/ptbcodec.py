@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.common.units import BLOCK_SIZE, GIB, PTES_PER_PTB, TIB
-from repro.vm.pte import pte_ppn, pte_status, pte_with_ppn, status_to_fields
+from repro.vm.pte import pte_ppn, pte_status, status_to_fields
 from repro.vm.pte import make_pte
 
 #: Bits in one PTB.

@@ -9,7 +9,7 @@ page-walk cache modeled after [23].
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.common.stats import RatioStat
 

@@ -23,7 +23,7 @@ Memory layout (byte addresses, one contiguous virtual region):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import numpy as np
 

@@ -7,8 +7,8 @@ benchmark and Python attribute access would dominate the runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
 
 #: One memory access: (virtual byte address, is_write).
 Access = Tuple[int, bool]

@@ -1,7 +1,5 @@
 """Tests for the three-level hierarchy semantics."""
 
-import pytest
-
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.common.units import KIB
 

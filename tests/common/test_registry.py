@@ -1,0 +1,111 @@
+"""Unit tests for the decorator-based component registry."""
+
+import pytest
+
+from repro.common.registry import Registry
+
+
+def test_bare_decorator_uses_name_attribute():
+    registry = Registry("widget")
+
+    @registry.register
+    class Gear:
+        name = "gear"
+
+    assert "gear" in registry
+    assert registry.get("gear") is Gear
+    assert registry.names() == ["gear"]
+
+
+def test_named_decorator_overrides_class_attribute():
+    registry = Registry("widget")
+
+    @registry.register(name="alias")
+    class Gear:
+        name = "gear"
+
+    assert "alias" in registry
+    assert "gear" not in registry
+
+
+def test_missing_name_rejected():
+    registry = Registry("widget")
+    with pytest.raises(ValueError, match="name"):
+        @registry.register
+        class Nameless:
+            pass
+
+
+def test_duplicate_name_rejected():
+    registry = Registry("widget")
+
+    @registry.register
+    class A:
+        name = "x"
+
+    with pytest.raises(ValueError, match="already registered"):
+        @registry.register
+        class B:
+            name = "x"
+
+
+def test_reregistering_same_class_is_idempotent():
+    registry = Registry("widget")
+
+    @registry.register
+    class A:
+        name = "x"
+
+    registry.add("x", A)  # same object: no error
+    assert len(registry) == 1
+
+
+def test_unknown_name_lists_choices():
+    registry = Registry("widget")
+
+    @registry.register
+    class A:
+        name = "x"
+
+    with pytest.raises(ValueError, match=r"unknown widget 'y'.*'x'"):
+        registry.get("y")
+
+
+def test_create_instantiates():
+    registry = Registry("widget")
+
+    @registry.register
+    class A:
+        name = "x"
+
+        def __init__(self, value):
+            self.value = value
+
+    instance = registry.create("x", 7)
+    assert isinstance(instance, A)
+    assert instance.value == 7
+
+
+def test_iteration_and_items_sorted():
+    registry = Registry("widget")
+    registry.add("b", object())
+    registry.add("a", object())
+    assert list(registry) == ["a", "b"]
+    assert [k for k, _ in registry.items()] == ["a", "b"]
+
+
+def test_builtin_controllers_registered():
+    from repro.core import CONTROLLER_REGISTRY, available_controllers
+
+    expected = {"uncompressed", "compresso", "compresso_llc_victim",
+                "osinspired", "osinspired_fastml2", "tmcc"}
+    assert set(available_controllers()) == expected
+    assert set(CONTROLLER_REGISTRY.names()) == expected
+
+
+def test_prefetcher_and_recency_registries():
+    from repro.cache.prefetch import PREFETCHER_REGISTRY
+    from repro.mc.recency import RECENCY_REGISTRY
+
+    assert set(PREFETCHER_REGISTRY.names()) >= {"next_line", "stride"}
+    assert "sampled_lru" in RECENCY_REGISTRY

@@ -18,9 +18,16 @@ def test_geomean():
     assert math.isclose(geomean([3.0, 3.0, 3.0]), 3.0)
 
 
-def test_geomean_rejects_non_positive():
+def test_geomean_skips_zeros_with_warning():
+    with pytest.warns(UserWarning, match="zero value"):
+        assert math.isclose(geomean([1.0, 4.0, 0.0]), 2.0)
+    with pytest.warns(UserWarning):
+        assert geomean([0.0, 0.0]) == 0.0
+
+
+def test_geomean_rejects_negative():
     with pytest.raises(ValueError):
-        geomean([1.0, 0.0])
+        geomean([1.0, -2.0])
 
 
 def test_counter():

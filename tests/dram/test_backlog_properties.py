@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dram.system import DRAMConfig, DRAMSystem
+from repro.dram.system import DRAMSystem
 
 
 @settings(max_examples=50, deadline=None)

@@ -5,7 +5,6 @@ import pytest
 from repro.mc.freelist import (
     ML1FreeList,
     ML2FreeLists,
-    SuperChunk,
     superchunk_geometry,
 )
 

@@ -1,0 +1,123 @@
+"""Unit tests for SimContext: RNG streams, clock, component tree."""
+
+import pytest
+
+from repro.common.stats import Counter, RatioStat, StatGroup
+from repro.core.config import SystemConfig
+from repro.sim.context import SimClock, SimContext
+
+
+def test_default_system_config():
+    context = SimContext()
+    assert isinstance(context.system, SystemConfig)
+    custom = SystemConfig()
+    assert SimContext(custom).system is custom
+
+
+def test_rng_streams_are_deterministic_and_distinct():
+    a = SimContext(seed=5)
+    b = SimContext(seed=5)
+    assert [a.rng("frames").randint(0, 10**9) for _ in range(4)] == \
+           [b.rng("frames").randint(0, 10**9) for _ in range(4)]
+    # Different streams see different sequences.
+    frames = a.rng("frames")
+    populate = a.rng("populate")
+    assert [frames.randint(0, 10**9) for _ in range(8)] != \
+           [populate.randint(0, 10**9) for _ in range(8)]
+
+
+def test_rng_stream_seed_derivations_exact():
+    """The derivations reproduce the pre-refactor hand-wired seeds."""
+    from repro.common.rng import DeterministicRNG
+
+    context = SimContext(seed=11)
+    expected = {"frames": 11, "populate": 12, "host_frames": 18,
+                "host_populate": 19, "placement": 11 ^ 0xD81F7}
+    for stream, seed in expected.items():
+        assert context.rng(stream).randint(0, 10**9) == \
+               DeterministicRNG(seed).randint(0, 10**9), stream
+
+
+def test_unknown_rng_stream_rejected():
+    with pytest.raises(ValueError, match="unknown RNG stream"):
+        SimContext().rng("entropy")
+
+
+def test_clock():
+    clock = SimClock()
+    assert clock.now_ns == 0.0
+    assert clock.advance(5.0) == 5.0
+    clock.advance(2.5)
+    assert clock.now_ns == 7.5
+    clock.reset()
+    assert clock.now_ns == 0.0
+
+
+def test_register_auto_attaches_stats():
+    context = SimContext()
+
+    class Component:
+        def __init__(self):
+            self.stats = RatioStat("hits")
+
+    component = context.register("tlb", Component())
+    component.stats.record(True)
+    component.stats.record(False)
+    assert context.metrics.get("tlb.hit_rate") == 0.5
+    assert context.component("tlb") is component
+
+
+def test_register_explicit_stats_wins():
+    context = SimContext()
+    counter = Counter("walks")
+    context.register("walker", object(), stats=counter)
+    counter.increment(3)
+    assert context.metrics.get("walker.value") == 3
+
+
+def test_register_stats_free_component():
+    context = SimContext()
+    context.register("plain", object())
+    assert context.metrics.namespaces() == []
+
+
+def test_register_duplicate_path_rejected():
+    context = SimContext()
+    context.register("tlb", object())
+    with pytest.raises(ValueError, match="already registered"):
+        context.register("tlb", object())
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ValueError, match="unknown component"):
+        SimContext().component("nope")
+
+
+def test_component_tree_nesting():
+    context = SimContext()
+    context.register("controller", object())
+    context.register("controller.cte_cache", object())
+    context.register("core0.tlb", object())
+    tree = context.component_tree()
+    assert tree["controller"][""] == "object"
+    assert tree["controller"]["cte_cache"] == "object"
+    assert tree["core0"]["tlb"] == "object"
+
+
+def test_probe_shares_bus():
+    context = SimContext()
+    seen = []
+    context.bus.subscribe_all(seen.append)
+    probe = context.probe("controller", stats=StatGroup("controller"))
+    probe.emit("access_path", 10.0, path="cte_hit")
+    assert len(seen) == 1
+    assert seen[0].kind == "controller.access_path"
+
+
+def test_reset_metrics_zeroes_sources():
+    context = SimContext()
+    ratio = RatioStat("hits")
+    context.register("tlb", object(), stats=ratio)
+    ratio.record(True)
+    context.reset_metrics()
+    assert ratio.total == 0

@@ -1,0 +1,168 @@
+"""Unit tests for the event bus, probes, and the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.common.stats import Counter, Histogram, RatioStat, StatGroup
+from repro.sim.instrument import (
+    Event,
+    EventBus,
+    MetricsRegistry,
+    Probe,
+    nest_metrics,
+)
+
+
+# ----------------------------------------------------------------------
+# EventBus
+# ----------------------------------------------------------------------
+
+def test_bus_inactive_without_subscribers():
+    bus = EventBus()
+    assert not bus.active
+    bus.publish("x", 0.0, a=1)  # no-op, no error
+
+
+def test_bus_kind_subscription():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("tlb_miss", seen.append)
+    assert bus.active
+    bus.publish("tlb_miss", 5.0, vpn=3)
+    bus.publish("other", 6.0)
+    assert len(seen) == 1
+    assert seen[0] == Event("tlb_miss", 5.0, {"vpn": 3})
+    assert seen[0].as_dict() == {"kind": "tlb_miss", "time_ns": 5.0, "vpn": 3}
+
+
+def test_bus_subscribe_all_and_unsubscribe():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_all(seen.append)
+    bus.publish("a", 1.0)
+    bus.publish("b", 2.0)
+    assert [e.kind for e in seen] == ["a", "b"]
+    bus.unsubscribe_all()
+    assert not bus.active
+    bus.publish("c", 3.0)
+    assert len(seen) == 2
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+
+def _registry():
+    registry = MetricsRegistry()
+    ratio = RatioStat("hits")
+    ratio.record(True)
+    ratio.record(True)
+    ratio.record(False)
+    registry.attach("tlb", ratio)
+    counter = Counter("walks", value=4)
+    registry.attach("walker.walks", counter)
+    group = StatGroup("controller")
+    group.counter("ml2_accesses").increment(2)
+    registry.attach("controller", group)
+    registry.attach("controller.paths", lambda: {"cte_hit": 0.75})
+    return registry, ratio, counter
+
+
+def test_snapshot_flattens_every_source_kind():
+    registry, _, _ = _registry()
+    snapshot = registry.snapshot()
+    assert snapshot["tlb.hit_rate"] == pytest.approx(2 / 3)
+    assert snapshot["tlb.total"] == 3
+    assert snapshot["walker.walks.value"] == 4
+    assert snapshot["controller.ml2_accesses"] == 2
+    assert snapshot["controller.paths.cte_hit"] == 0.75
+
+
+def test_get_single_key_is_live():
+    registry, ratio, _ = _registry()
+    assert registry.get("tlb.hit_rate") == pytest.approx(2 / 3)
+    ratio.record(True)
+    assert registry.get("tlb.hit_rate") == pytest.approx(3 / 4)
+    assert registry.get("no.such.key") is None
+    assert registry.get("no.such.key", 1.5) == 1.5
+
+
+def test_histogram_source():
+    registry = MetricsRegistry()
+    histogram = Histogram("stall_ns")
+    histogram.record(10.0)
+    histogram.record(30.0)
+    registry.attach("migration.stall_ns", histogram)
+    snapshot = registry.snapshot()
+    assert snapshot["migration.stall_ns.count"] == 2
+    assert snapshot["migration.stall_ns.mean"] == 20.0
+
+
+def test_attach_conflicts_rejected():
+    registry = MetricsRegistry()
+    registry.attach("tlb", Counter("a"))
+    with pytest.raises(ValueError, match="already attached"):
+        registry.attach("tlb", Counter("b"))
+    with pytest.raises(ValueError, match="non-empty"):
+        registry.attach("", Counter("c"))
+
+
+def test_detach():
+    registry = MetricsRegistry()
+    registry.attach("tlb", Counter("a"))
+    registry.detach("tlb")
+    assert registry.namespaces() == []
+    registry.detach("tlb")  # idempotent
+
+
+def test_tree_and_json_round_trip():
+    registry, _, _ = _registry()
+    tree = json.loads(registry.to_json())
+    assert tree["tlb"]["hit_rate"] == pytest.approx(2 / 3)
+    assert tree["walker"]["walks"]["value"] == 4
+    assert tree["controller"]["ml2_accesses"] == 2
+    assert tree["controller"]["paths"]["cte_hit"] == 0.75
+
+
+def test_nest_metrics_leaf_namespace_collision():
+    nested = nest_metrics({"a.b": 1.0, "a.b.c": 2.0})
+    assert nested["a"]["b"][""] == 1.0
+    assert nested["a"]["b"]["c"] == 2.0
+
+
+def test_reset_resets_resettable_sources_only():
+    registry, ratio, counter = _registry()
+    registry.reset()
+    assert ratio.total == 0
+    assert counter.value == 0
+    # The callable source survives (nothing to reset).
+    assert registry.snapshot()["controller.paths.cte_hit"] == 0.75
+
+
+# ----------------------------------------------------------------------
+# Probe
+# ----------------------------------------------------------------------
+
+def test_probe_counts_and_emits():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("controller.access_path", seen.append)
+    probe = Probe("controller", bus=bus)
+    probe.count("l3_misses")
+    probe.count("l3_misses", 2)
+    probe.record("latency_ns", 12.0)
+    probe.ratio("cte", True)
+    probe.emit("access_path", 9.0, path="cte_hit")
+    assert probe.stats.counter("l3_misses").value == 3
+    assert probe.stats.histogram("latency_ns").mean == 12.0
+    assert probe.stats.ratio("cte").hit_rate == 1.0
+    assert seen[0].kind == "controller.access_path"
+    assert seen[0].payload["path"] == "cte_hit"
+
+
+def test_probe_wraps_existing_stat_group():
+    group = StatGroup("controller")
+    probe = Probe("controller", stats=group)
+    probe.count("x")
+    assert group.counter("x").value == 1

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.simulator import CONTROLLERS, Simulator
+from repro.core import available_controllers
+from repro.sim.simulator import Simulator
 from repro.workloads.suite import workload_by_name
 
 
@@ -33,7 +34,7 @@ def test_uncompressed_run_produces_sane_stats(tiny_canneal):
     assert result.compression_ratio <= 1.0 + 1e-6
 
 
-@pytest.mark.parametrize("controller", sorted(CONTROLLERS))
+@pytest.mark.parametrize("controller", available_controllers())
 def test_every_controller_completes(tiny_canneal, controller):
     result = Simulator(tiny_canneal, controller=controller).run()
     assert result.accesses > 0

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,6 +12,64 @@ def test_workloads_lists_all(capsys):
     out = capsys.readouterr().out
     for name in ("pageRank", "mcf", "omnetpp", "canneal", "triCount"):
         assert name in out
+
+
+def test_workloads_json(capsys):
+    assert main(["workloads", "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert {r["name"] for r in records} >= {"mcf", "omnetpp", "canneal"}
+    assert all("kind" in r for r in records)
+
+
+def test_run_controller_list(capsys):
+    assert main(["run", "--controller", "list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "tmcc" in names and "compresso" in names
+    assert "uncompressed" in names and "osinspired" in names
+    from repro.core import available_controllers
+
+    assert names == available_controllers()
+
+
+def test_run_requires_workload(capsys):
+    assert main(["run", "--controller", "tmcc"]) == 2
+    assert "workload is required" in capsys.readouterr().err
+
+
+def test_run_rejects_unknown_controller(capsys):
+    assert main(["run", "omnetpp", "--controller", "hal9000"]) == 2
+    assert "unknown controller" in capsys.readouterr().err
+
+
+def test_run_rejects_unknown_workload(capsys):
+    assert main(["run", "doom3"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_emit_json_and_trace_events(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    assert main(["run", "omnetpp", "--accesses", "4000", "--scale", "0.05",
+                 "--controller", "compresso", "--emit-json",
+                 "--trace-events", str(events)]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["accesses"] > 0
+    assert "tlb.hit_rate" in record["metrics"]
+    assert "hit_rate" in record["metrics_tree"]["tlb"]
+    lines = [json.loads(line) for line in events.read_text().splitlines()]
+    assert lines, "expected at least one trace event"
+    assert all("kind" in e and "time_ns" in e for e in lines)
+    kinds = {e["kind"] for e in lines}
+    assert "controller.access_path" in kinds or "sim.tlb_miss" in kinds
+
+
+def test_compare_emit_json(capsys):
+    assert main(["compare", "omnetpp", "--accesses", "6000",
+                 "--scale", "0.05", "--emit-json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert set(record["systems"]) == {"uncompressed", "compresso", "tmcc"}
+    tmcc = record["systems"]["tmcc"]
+    assert "controller" in tmcc["metrics_tree"]
+    assert "paths" in tmcc["metrics_tree"]["controller"]
 
 
 def test_deflate_command(capsys):
@@ -67,3 +127,14 @@ def test_trace_run_rejects_unknown_controller(tmp_path, capsys):
     capsys.readouterr()
     assert main(["trace", "run", path, "--controller", "hal9000"]) == 2
     assert "unknown controller" in capsys.readouterr().err
+
+
+def test_trace_run_controller_list(capsys):
+    assert main(["trace", "run", "--controller", "list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "tmcc" in names
+
+
+def test_trace_run_requires_path(capsys):
+    assert main(["trace", "run", "--controller", "tmcc"]) == 2
+    assert "trace path is required" in capsys.readouterr().err

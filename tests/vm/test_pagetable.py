@@ -3,16 +3,15 @@
 import pytest
 
 from repro.common.rng import DeterministicRNG
-from repro.common.units import BLOCK_SIZE, PAGE_SIZE
+from repro.common.units import BLOCK_SIZE
 from repro.vm.pagetable import (
-    ENTRIES_PER_TABLE,
     FrameAllocator,
     PageTable,
     PageTablePopulator,
     ptb_status_stats,
     vpn_index,
 )
-from repro.vm.pte import STATUS_DEFAULT_DATA, pte_ppn, pte_status
+from repro.vm.pte import pte_ppn
 
 
 def make_table(frames=1 << 20, jump=0.02, seed=7):
@@ -202,7 +201,7 @@ def test_partial_ptb_counts_present_entries_only():
 
 
 def test_divergent_status_breaks_uniformity():
-    from repro.vm.pte import PTE_DIRTY, STATUS_DEFAULT_DATA
+    from repro.vm.pte import PTE_DIRTY
 
     table, allocator = make_table()
     for i in range(8):

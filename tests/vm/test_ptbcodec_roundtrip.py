@@ -1,0 +1,106 @@
+"""Property tests: compressed-PTB encode/decode round-trips exactly.
+
+Complements test_ptbcodec.py's example-based tests with hypothesis
+sweeps over random PTE groups, plus the Section V-A5 capacity math
+(embedded CTEs must fit in the bits freed by truncation, and page-level
+CTEs stay within the paper's 8 B-per-page budget).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import BLOCK_SIZE, PTES_PER_PTB, TIB
+from repro.mc.cte import CTE_SIZE_PAGE
+from repro.vm.pte import make_pte, pte_ppn, pte_status
+from repro.vm.ptbcodec import PTB_BITS, STATUS_BITS, PTBCodec
+
+status_low = st.integers(min_value=0, max_value=(1 << 12) - 1)
+status_high = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+def _compressible_group(codec, low, high, ppn_top, ppn_lows):
+    """Eight PTEs sharing status bits and leading PPN bits."""
+    return [make_pte((ppn_top << codec.ppn_bits) | ppn_low, low, high)
+            for ppn_low in ppn_lows]
+
+
+@settings(max_examples=60)
+@given(
+    low=status_low,
+    high=status_high,
+    ppn_top=st.integers(min_value=0, max_value=(1 << 10) - 1),
+    ppn_lows=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                      min_size=PTES_PER_PTB, max_size=PTES_PER_PTB),
+)
+def test_roundtrip_preserves_ppns_and_status(low, high, ppn_top, ppn_lows):
+    codec = PTBCodec()  # 1 TiB, 4x expansion -> ppn_bits == 30
+    ptes = _compressible_group(codec, low, high, ppn_top, ppn_lows)
+    compressed = codec.compress(ptes)
+    assert compressed is not None, "identical status+high bits must compress"
+    restored = codec.decompress(compressed)
+    assert restored == ptes
+    assert [pte_ppn(p) for p in restored] == [pte_ppn(p) for p in ptes]
+    assert {pte_status(p) for p in restored} == {pte_status(p) for p in ptes}
+
+
+@settings(max_examples=60)
+@given(ptes=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                     min_size=PTES_PER_PTB, max_size=PTES_PER_PTB))
+def test_arbitrary_groups_roundtrip_when_compressible(ptes):
+    codec = PTBCodec()
+    ptes = [p & ~(((1 << 12) - 1) << 52) for p in ptes]  # keep PPN in 40 bits
+    ptes = [make_pte(pte_ppn(p) & ((1 << 40) - 1), p & 0xFFF,
+                     (p >> 52) & 0xFFF) for p in ptes]
+    compressed = codec.compress(ptes)
+    if compressed is None:
+        assert not codec.compressible(ptes)
+    else:
+        assert codec.decompress(compressed) == ptes
+
+
+@settings(max_examples=30)
+@given(
+    low=status_low,
+    ppn_lows=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                      min_size=PTES_PER_PTB, max_size=PTES_PER_PTB,
+                      unique=True),
+    cte=st.integers(min_value=0, max_value=(1 << 28) - 1),
+)
+def test_embedded_ctes_survive_software_merge(low, ppn_lows, cte):
+    codec = PTBCodec()
+    ptes = _compressible_group(codec, low, 0, 3, ppn_lows)
+    compressed = codec.compress(ptes)
+    ppn = pte_ppn(ptes[0])
+    assert compressed.set_cte_for_ppn(ppn, codec.ppn_bits, cte)
+    assert compressed.embedded_cte_for_ppn(ppn, codec.ppn_bits) == cte
+    # A software write that keeps PTE 0 in place preserves its CTE.
+    merged = codec.merge_software_update(compressed, ptes)
+    assert merged is not None
+    assert merged.embedded_cte_for_ppn(ppn, codec.ppn_bits) == cte
+
+
+def test_capacity_matches_paper_quotes():
+    """Section V-A5: 8 CTEs at 1 TB, 7 at 4 TB, 6 at 16 TB."""
+    assert PTBCodec(1 * TIB).embeddable_ctes == 8
+    assert PTBCodec(4 * TIB).embeddable_ctes == 7
+    assert PTBCodec(16 * TIB).embeddable_ctes == 6
+
+
+@given(shift=st.integers(min_value=0, max_value=8),
+       expansion=st.sampled_from([1, 2, 4]))
+def test_compressed_encoding_fits_one_block(shift, expansion):
+    """Status + truncated PPNs + embedded CTEs never exceed 64 B."""
+    codec = PTBCodec(TIB << shift, expansion_factor=expansion)
+    used = (STATUS_BITS + PTES_PER_PTB * codec.ppn_bits
+            + codec.embeddable_ctes * codec.cte_bits)
+    assert used <= PTB_BITS == BLOCK_SIZE * 8
+    assert 0 <= codec.embeddable_ctes <= PTES_PER_PTB
+
+
+def test_page_level_cte_budget():
+    """A full (non-embedded) CTE costs 8 B per page -- the paper's budget
+    that page-level CTEs (vs Compresso's 64 B per page of block CTEs)
+    are sized against; truncated embedded CTEs must be strictly smaller."""
+    assert CTE_SIZE_PAGE == 8
+    codec = PTBCodec()
+    assert codec.cte_bits <= CTE_SIZE_PAGE * 8
+    assert codec.cte_bits < 64  # truncation is what makes embedding fit

@@ -111,6 +111,25 @@ def _cmd_deflate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_breakdown(accounting) -> None:
+    """Render the per-path per-stage latency table behind ``--breakdown``.
+
+    ``share`` is each stage's critical-path time as a fraction of all
+    measured miss latency, so the column sums to ~1.0 over the table.
+    """
+    rows = accounting.breakdown()
+    if not rows:
+        print("no per-stage data recorded (no LLC misses?)")
+        return
+    header = (f"{'path':<18} {'stage':<16} {'count':>8} "
+              f"{'mean_ns':>10} {'share':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['path']:<18} {row['stage']:<16} {row['count']:>8} "
+              f"{row['mean_ns']:>10.2f} {row['share']:>7.1%}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.controller == "list":
         for name in _controller_names():
@@ -170,6 +189,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"avg miss latency {result.avg_l3_miss_latency_ns:.1f} ns, "
           f"perf {result.performance:.1f}/us, "
           f"capacity {result.compression_ratio:.2f}x")
+    if args.breakdown:
+        _print_breakdown(sim.controller.stage_accounting)
     if args.trace_events:
         print(f"trace events written to {args.trace_events}")
     return 0
@@ -290,6 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--cores", type=int, default=1,
                      help=">1 uses the multi-core engine")
+    run.add_argument("--breakdown", action="store_true",
+                     help="print the per-path per-stage miss-latency table")
     run.add_argument("--emit-json", action="store_true",
                      help="emit the result plus the namespaced metric tree")
     run.add_argument("--trace-events", metavar="PATH",

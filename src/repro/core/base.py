@@ -16,6 +16,13 @@ from repro.common.stats import StatGroup
 from repro.common.units import BLOCK_SIZE, PAGE_SIZE
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
+from repro.core.pipeline import (
+    STAGE_DATA_FETCH,
+    ServiceTimeline,
+    Stage,
+    StageAccounting,
+    evaluate,
+)
 from repro.dram.system import DRAMSystem
 
 #: Access-path labels (Figure 8 timelines / Figure 19 breakdown).
@@ -59,6 +66,11 @@ class MissResult:
     latency_ns: float
     path: str
     in_ml2: bool = False
+    #: The evaluated access pipeline: start/end of every stage (CTE
+    #: fetch, data fetch, decompress, ...).  ``latency_ns`` equals
+    #: ``timeline.total_ns``; the field carries the decomposition for
+    #: Figure 8/18-style consumers.
+    timeline: Optional[ServiceTimeline] = None
 
 
 class MemoryController:
@@ -72,6 +84,12 @@ class MemoryController:
         self.dram = dram
         self.seed = seed
         self.stats = StatGroup(self.name)
+        #: Per-stage latency statistics (``controller.stage.<name>.ns``
+        #: histograms), fed by every evaluated access pipeline.
+        self.stage_stats = StatGroup(f"{self.name}.stage")
+        #: Per-path aggregation of stage timings for ``--breakdown`` and
+        #: the ``controller.breakdown.*`` metric namespace.
+        self.stage_accounting = StageAccounting()
         #: Instrumentation handle; harmless no-op bus until a context
         #: attaches its own via :meth:`attach_instrumentation`.
         self._probe = None
@@ -134,10 +152,20 @@ class MemoryController:
     def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
                       is_write: bool = False) -> MissResult:
         """Serve an LLC miss for block ``block_index`` of page ``ppn``."""
-        latency = self._dram_read_ns(self._data_address(ppn, block_index), now_ns)
+        timeline = evaluate(self._data_fetch_stage(ppn, block_index), now_ns)
         self.stats.counter("l3_misses").increment()
-        self.stats.histogram("miss_latency_ns").record(latency)
-        return MissResult(latency, PATH_CTE_HIT)
+        self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
+        self._record_stages(timeline, PATH_CTE_HIT)
+        return MissResult(timeline.total_ns, PATH_CTE_HIT, timeline=timeline)
+
+    def _data_fetch_stage(self, ppn: int, block_index: int) -> Stage:
+        """The plain one-DRAM-read data stage every controller shares."""
+        return Stage(
+            STAGE_DATA_FETCH,
+            lambda start_ns: self._dram_read_ns(
+                self._data_address(ppn, block_index), start_ns
+            ),
+        )
 
     def serve_writeback(self, ppn: int, block_index: int, now_ns: float) -> None:
         """Absorb a dirty LLC writeback (posted; no read-path latency)."""
@@ -174,3 +202,38 @@ class MemoryController:
         if self._probe is not None:
             self._probe.emit("access_path", now_ns, path=path,
                              latency_ns=latency_ns, ppn=ppn)
+
+    def _record_stages(self, timeline: ServiceTimeline, path: str,
+                       ppn: int = -1) -> None:
+        """Feed one evaluated pipeline into the stage-metric surface.
+
+        Every span lands in ``controller.stage.<name>.ns``; wasted
+        speculative work and parallel slack get their own histograms so
+        the Figure 8 timelines can separate paid, discarded, and hidden
+        time.  With a trace subscriber attached, each span also becomes a
+        ``controller.stage`` event.
+        """
+        self.stage_accounting.record(path, timeline)
+        stats = self.stage_stats
+        for span in timeline.spans:
+            stats.histogram(f"{span.name}.ns").record(span.latency_ns)
+            if span.wasted:
+                stats.histogram(f"{span.name}.wasted_ns").record(span.latency_ns)
+            elif span.slack_ns:
+                stats.histogram(f"{span.name}.slack_ns").record(span.slack_ns)
+        probe = self._probe
+        if probe is not None and probe.bus.active:
+            for span in timeline.spans:
+                probe.emit("stage", span.start_ns, stage=span.name,
+                           path=path, latency_ns=span.latency_ns,
+                           end_ns=span.end_ns, critical=span.critical,
+                           wasted=span.wasted, ppn=ppn)
+
+    def _finish_miss(self, timeline: ServiceTimeline, path: str,
+                     in_ml2: bool, now_ns: float, ppn: int) -> MissResult:
+        """Shared epilogue: path counter, stage metrics, latency histogram."""
+        self._record_path(path, now_ns, timeline.total_ns, ppn)
+        self._record_stages(timeline, path, ppn)
+        self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
+        return MissResult(timeline.total_ns, path, in_ml2=in_ml2,
+                          timeline=timeline)

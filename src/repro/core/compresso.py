@@ -27,6 +27,7 @@ from repro.core.base import (
     register_controller,
 )
 from repro.core.compmodel import PageCompressionModel
+from repro.core.pipeline import STAGE_CTE_FETCH, Stage, cond, evaluate, serial
 from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
 from repro.mc.cte import CTE_SIZE_BLOCKLEVEL, CompressoCTE
@@ -138,22 +139,26 @@ class CompressoController(MemoryController):
     def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
                       is_write: bool = False) -> MissResult:
         self.stats.counter("l3_misses").increment()
-        if self.cte_cache.lookup(ppn):
-            latency = self._dram_read_ns(self._data_address(ppn, block_index), now_ns)
+        cache_hit = self.cte_cache.lookup(ppn)
+        # On a CTE-cache miss the metadata fetch (possibly via the LLC
+        # victim path) strictly precedes the data fetch -- the Figure 8a
+        # serialization TMCC exists to remove.
+        pipeline = cond(
+            cache_hit,
+            self._data_fetch_stage(ppn, block_index),
+            serial(
+                Stage(STAGE_CTE_FETCH,
+                      lambda start_ns: self._fetch_cte_serial_ns(ppn, start_ns)),
+                self._data_fetch_stage(ppn, block_index),
+            ),
+        )
+        timeline = evaluate(pipeline, now_ns)
+        if cache_hit:
             path = PATH_CTE_HIT
         else:
-            # Serial: fetch the CTE (possibly via the LLC victim path),
-            # then the data (Figure 8a).
-            cte_ns = self._fetch_cte_serial_ns(ppn, now_ns)
-            data_ns = self._dram_read_ns(
-                self._data_address(ppn, block_index), now_ns + cte_ns
-            )
-            latency = cte_ns + data_ns
             self._fill_cte_cache(ppn)
             path = PATH_SERIAL_NO_CTE
-        self._record_path(path, now_ns, latency, ppn)
-        self.stats.histogram("miss_latency_ns").record(latency)
-        return MissResult(latency, path)
+        return self._finish_miss(timeline, path, False, now_ns, ppn)
 
     def _fetch_cte_serial_ns(self, ppn: int, now_ns: float) -> float:
         """Serial CTE fetch, optionally probing the LLC victim copy."""

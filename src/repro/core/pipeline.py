@@ -1,0 +1,382 @@
+"""Declarative latency composition for the LLC-miss service path.
+
+The paper's central claims are timeline claims: Figure 8 contrasts the
+serial CTE-fetch -> data-fetch chain against TMCC's parallel speculative
+fetch, Figure 18 decomposes average L3-miss latency, and Figure 19 splits
+accesses across service paths.  Instead of each controller hand-threading
+``now_ns`` offsets and ad-hoc ``max()`` arithmetic, the miss path is
+*data*: controllers build a small expression tree out of
+
+- :class:`Stage` -- one named unit of work with a latency (a constant, or
+  a callable evaluated with the stage's start time so DRAM queue state is
+  sampled at the moment the request would actually issue),
+- :func:`serial` -- stages back to back (latencies sum),
+- :func:`parallel` -- stages racing (latency is the max; losing branches
+  get their hidden time attributed as *slack*, and speculative stages
+  marked ``wasted`` keep their full cost visible),
+- :func:`cond` -- build-time selection between alternative sub-paths,
+- :func:`defer` -- a sub-pipeline whose shape (or closures) depend on its
+  own start time, built lazily during evaluation.
+
+:func:`evaluate` walks the tree once, in declaration order, and returns a
+:class:`ServiceTimeline` recording the start/end of every stage.  The
+evaluation is careful to reproduce the exact floating-point association
+of the hand-written arithmetic it replaced (sums accumulate left to
+right; a nested pipeline's base time is formed with a single addition),
+so a controller refactored onto the algebra reports bit-identical
+``MissResult.latency_ns`` values.
+
+:class:`StageAccounting` aggregates timelines per access path for the
+Figure 8/18 reconstructions (``repro run --breakdown``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: A stage's cost: a non-negative constant, or a callable receiving the
+#: stage's absolute start time (ns) and returning the latency (ns).
+Latency = Union[float, int, Callable[[float], float]]
+
+# ----------------------------------------------------------------------
+# Canonical stage names (metric keys are ``controller.stage.<name>.*``)
+# ----------------------------------------------------------------------
+
+STAGE_CTE_FETCH = "cte_fetch"
+STAGE_DATA_FETCH = "data_fetch"
+STAGE_SPEC_DATA_FETCH = "spec_data_fetch"
+STAGE_CTE_REPAIR = "cte_repair"
+STAGE_ML2_READ = "ml2_read"
+STAGE_DECOMPRESS = "decompress"
+STAGE_MIGRATION_STALL = "migration_stall"
+STAGE_MIGRATE = "migrate"
+STAGE_EVICT = "evict"
+
+
+@dataclass
+class StageSpan:
+    """One stage's occurrence on a service timeline."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+    latency_ns: float
+    #: On the critical path (serial stages and parallel winners).  The
+    #: critical spans of a timeline sum to its total latency.
+    critical: bool = True
+    #: Time this stage's branch finished before the parallel winner --
+    #: latency hidden under another branch, not paid by the miss.
+    slack_ns: float = 0.0
+    #: Speculative work that was discarded (e.g. TMCC's stale-CTE data
+    #: fetch); the cost is real DRAM work even when off the critical path.
+    wasted: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "latency_ns": self.latency_ns,
+            "critical": self.critical,
+            "slack_ns": self.slack_ns,
+            "wasted": self.wasted,
+        }
+
+
+@dataclass
+class ServiceTimeline:
+    """The evaluated pipeline: every stage's placement plus the total."""
+
+    start_ns: float
+    total_ns: float
+    spans: List[StageSpan]
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.total_ns
+
+    def stage_names(self) -> List[str]:
+        return [span.name for span in self.spans]
+
+    def span(self, name: str) -> Optional[StageSpan]:
+        """The first span with ``name``, or None."""
+        for item in self.spans:
+            if item.name == name:
+                return item
+        return None
+
+    def critical_ns(self) -> float:
+        """Sum of critical-span latencies (equals ``total_ns``)."""
+        return sum(span.latency_ns for span in self.spans if span.critical)
+
+    def wasted_ns(self) -> float:
+        return sum(span.latency_ns for span in self.spans if span.wasted)
+
+
+class PipelineNode:
+    """Base class of the composition tree."""
+
+    def _evaluate(self, base_ns: float, spans: List[StageSpan]) -> float:
+        """Append this node's spans, starting at ``base_ns``; return the
+        node's duration in ns."""
+        raise NotImplementedError
+
+
+class Stage(PipelineNode):
+    """One named unit of work.
+
+    ``latency`` is either a constant or a callable invoked with the
+    stage's absolute start time; callables may perform the modeled side
+    effects (DRAM reads, migration-buffer reservations) -- evaluation
+    order is declaration order, so side effects happen exactly where the
+    hand-written control flow performed them.
+
+    ``record=False`` runs the stage (for its side effects) without
+    emitting a span -- bookkeeping actions that take no foreground time.
+    """
+
+    __slots__ = ("name", "latency", "wasted", "record")
+
+    def __init__(self, name: str, latency: Latency, wasted: bool = False,
+                 record: bool = True) -> None:
+        if not name:
+            raise ValueError("stage name must be non-empty")
+        if not callable(latency) and latency < 0:
+            raise ValueError(f"stage {name!r} latency must be non-negative")
+        self.name = name
+        self.latency = latency
+        self.wasted = wasted
+        self.record = record
+
+    def _evaluate(self, base_ns: float, spans: List[StageSpan]) -> float:
+        latency = self.latency
+        if callable(latency):
+            latency = latency(base_ns)
+        if self.record:
+            spans.append(StageSpan(self.name, base_ns, base_ns + latency,
+                                   latency, wasted=self.wasted))
+        return latency
+
+
+class _Serial(PipelineNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[PipelineNode]) -> None:
+        self.children = list(children)
+
+    def _evaluate(self, base_ns: float, spans: List[StageSpan]) -> float:
+        total = 0.0
+        for child in self.children:
+            total += child._evaluate(base_ns + total, spans)
+        return total
+
+
+class _Parallel(PipelineNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[PipelineNode]) -> None:
+        if not children:
+            raise ValueError("parallel() needs at least one branch")
+        self.children = list(children)
+
+    def _evaluate(self, base_ns: float, spans: List[StageSpan]) -> float:
+        durations: List[float] = []
+        branch_slices: List[Tuple[int, int]] = []
+        for child in self.children:
+            mark = len(spans)
+            durations.append(child._evaluate(base_ns, spans))
+            branch_slices.append((mark, len(spans)))
+        duration = max(durations)
+        winner = durations.index(duration)
+        for index, (lo, hi) in enumerate(branch_slices):
+            if index == winner:
+                continue
+            slack = duration - durations[index]
+            for span in spans[lo:hi]:
+                span.critical = False
+            # The branch's hidden time belongs to its last span (its
+            # completion is what the winner overlaps past).
+            if hi > lo and slack > 0.0:
+                spans[hi - 1].slack_ns += slack
+        return duration
+
+
+class _Deferred(PipelineNode):
+    __slots__ = ("builder",)
+
+    def __init__(self, builder: Callable[[float], "NodeLike"]) -> None:
+        self.builder = builder
+
+    def _evaluate(self, base_ns: float, spans: List[StageSpan]) -> float:
+        return as_node(self.builder(base_ns))._evaluate(base_ns, spans)
+
+
+NodeLike = Union[PipelineNode, Stage]
+
+
+def as_node(node: NodeLike) -> PipelineNode:
+    if isinstance(node, PipelineNode):
+        return node
+    raise TypeError(f"not a pipeline node: {node!r}")
+
+
+def serial(*children: NodeLike) -> PipelineNode:
+    """Stages back to back; the duration is the left-to-right sum."""
+    return _Serial([as_node(child) for child in children])
+
+
+def parallel(*children: NodeLike) -> PipelineNode:
+    """Branches racing from a common start; the duration is the max.
+
+    Branches are evaluated in declaration order (side effects included);
+    losing branches are marked non-critical and their hidden completion
+    time is attributed as :attr:`StageSpan.slack_ns`.
+    """
+    return _Parallel([as_node(child) for child in children])
+
+
+def cond(condition: object, then: NodeLike,
+         otherwise: Optional[NodeLike] = None) -> PipelineNode:
+    """Build-time selection: ``then`` when truthy, else ``otherwise``
+    (an empty pipeline when omitted)."""
+    if condition:
+        return as_node(then)
+    if otherwise is None:
+        return _Serial([])
+    return as_node(otherwise)
+
+
+def defer(builder: Callable[[float], NodeLike]) -> PipelineNode:
+    """A sub-pipeline built at evaluation time from its own start time.
+
+    Use when a stage's cost model needs the sub-pipeline's base time in a
+    closure (e.g. a migration-buffer reservation made at the access's
+    arrival, not at the reserving stage's own start).
+    """
+    return _Deferred(builder)
+
+
+def evaluate(node: NodeLike, start_ns: float = 0.0) -> ServiceTimeline:
+    """Run the pipeline once; returns the recorded timeline."""
+    spans: List[StageSpan] = []
+    total = as_node(node)._evaluate(start_ns, spans)
+    return ServiceTimeline(start_ns=start_ns, total_ns=total, spans=spans)
+
+
+# ----------------------------------------------------------------------
+# Aggregation (Figure 8/18 reconstruction)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StageTotals:
+    """Aggregated occurrences of one stage under one access path."""
+
+    count: int = 0
+    total_ns: float = 0.0
+    #: Portion on the critical path -- what the miss actually paid.
+    critical_ns: float = 0.0
+    #: Discarded speculative work (full stage cost).
+    wasted_ns: float = 0.0
+    #: Completion time hidden under a longer parallel branch.
+    slack_ns: float = 0.0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+class StageAccounting:
+    """Per-path, per-stage aggregation over every serviced miss.
+
+    Registered as a metrics source (``controller.breakdown.*``): calling
+    the instance flattens into ``<path>.<stage>.mean_ns`` /
+    ``.critical_ns`` / ``.count`` keys, plus each path's ``total_ns``.
+    ``reset()`` supports the warm-up boundary.
+    """
+
+    def __init__(self) -> None:
+        self._paths: Dict[str, Dict[str, StageTotals]] = {}
+        self._path_total_ns: Dict[str, float] = {}
+        self._path_count: Dict[str, int] = {}
+
+    def record(self, path: str, timeline: ServiceTimeline) -> None:
+        stages = self._paths.setdefault(path, {})
+        for span in timeline.spans:
+            totals = stages.get(span.name)
+            if totals is None:
+                totals = stages[span.name] = StageTotals()
+            totals.count += 1
+            totals.total_ns += span.latency_ns
+            if span.critical:
+                totals.critical_ns += span.latency_ns
+            if span.wasted:
+                totals.wasted_ns += span.latency_ns
+            totals.slack_ns += span.slack_ns
+        self._path_total_ns[path] = (
+            self._path_total_ns.get(path, 0.0) + timeline.total_ns
+        )
+        self._path_count[path] = self._path_count.get(path, 0) + 1
+
+    # -- reading -------------------------------------------------------
+
+    def paths(self) -> List[str]:
+        return sorted(self._paths)
+
+    def stages(self, path: str) -> Dict[str, StageTotals]:
+        return dict(self._paths.get(path, {}))
+
+    def path_total_ns(self, path: str) -> float:
+        return self._path_total_ns.get(path, 0.0)
+
+    def path_count(self, path: str) -> int:
+        return self._path_count.get(path, 0)
+
+    def grand_total_ns(self) -> float:
+        return sum(self._path_total_ns.values())
+
+    def breakdown(self) -> List[Dict[str, object]]:
+        """Rows for the ``--breakdown`` table, one per (path, stage).
+
+        ``share`` is the stage's critical-path time as a fraction of all
+        miss latency, so shares sum to ~1 across the whole table.
+        """
+        grand = self.grand_total_ns()
+        rows: List[Dict[str, object]] = []
+        for path in self.paths():
+            for name, totals in sorted(self._paths[path].items()):
+                rows.append({
+                    "path": path,
+                    "stage": name,
+                    "count": totals.count,
+                    "mean_ns": totals.mean_ns,
+                    "critical_ns": totals.critical_ns,
+                    "wasted_ns": totals.wasted_ns,
+                    "slack_ns": totals.slack_ns,
+                    "share": totals.critical_ns / grand if grand else 0.0,
+                })
+        return rows
+
+    # -- metrics-source protocol ---------------------------------------
+
+    def __call__(self) -> Mapping[str, float]:
+        out: Dict[str, float] = {}
+        for path in self.paths():
+            out[f"{path}.total_ns"] = self._path_total_ns.get(path, 0.0)
+            out[f"{path}.count"] = self._path_count.get(path, 0)
+            for name, totals in sorted(self._paths[path].items()):
+                prefix = f"{path}.{name}"
+                out[f"{prefix}.count"] = totals.count
+                out[f"{prefix}.mean_ns"] = totals.mean_ns
+                out[f"{prefix}.critical_ns"] = totals.critical_ns
+                if totals.wasted_ns:
+                    out[f"{prefix}.wasted_ns"] = totals.wasted_ns
+                if totals.slack_ns:
+                    out[f"{prefix}.slack_ns"] = totals.slack_ns
+        return out
+
+    def reset(self) -> None:
+        self._paths.clear()
+        self._path_total_ns.clear()
+        self._path_count.clear()

@@ -30,6 +30,14 @@ from repro.core.base import (
     register_controller,
 )
 from repro.core.config import SystemConfig
+from repro.core.pipeline import (
+    STAGE_CTE_REPAIR,
+    STAGE_SPEC_DATA_FETCH,
+    PipelineNode,
+    Stage,
+    parallel,
+    serial,
+)
 from repro.core.twolevel import TwoLevelController
 from repro.dram.system import DRAMSystem
 from repro.mc.cte import PageCTE
@@ -125,34 +133,46 @@ class TMCCController(TwoLevelController):
     # Miss side: parallel speculative access (Figures 8b/8c, 11)
     # ------------------------------------------------------------------
 
-    def _translate_on_miss(self, ppn: int, cte: PageCTE, block_index: int,
-                           now_ns: float):
+    def _translate_pipeline(self, ppn: int, cte: PageCTE,
+                            block_index: int) -> Tuple[PipelineNode, str]:
         entry = self._cte_buffer.get(ppn)
         if entry is None or entry[0] is None:
             # Uncommon: no embedded CTE available -> serial, like prior work.
-            return super()._translate_on_miss(ppn, cte, block_index, now_ns)
+            return super()._translate_pipeline(ppn, cte, block_index)
 
         snapshot, ptb_address = entry
-        cte_ns = self._fetch_cte_ns(ppn, now_ns)
         if snapshot == self._snapshot(ppn):
-            # Common case: speculative data access verified correct.
-            data_ns, in_ml2 = self._access_data(ppn, cte, block_index, now_ns)
-            latency = max(cte_ns, data_ns)
-            path = PATH_ML2 if in_ml2 else PATH_PARALLEL_OK
-            return latency, path, in_ml2
-        # Mismatch: the speculative DRAM access was wasted; re-access with
-        # the correct CTE, then repair the PTB's embedded copy lazily.
-        wasted_ns = self._dram_read_ns(
-            snapshot[0] * 4096 + block_index * 64, now_ns
+            # Common case (Figure 8b): the speculative data access races
+            # the verifying CTE read; the miss pays only the longer leg.
+            pipeline = parallel(
+                self._cte_fetch_stage(ppn),
+                self._data_pipeline(ppn, cte, block_index),
+            )
+            return pipeline, PATH_ML2 if cte.in_ml2 else PATH_PARALLEL_OK
+
+        # Mismatch (Figure 8c): the speculative DRAM access is wasted
+        # work; the verify detects it, the block is re-fetched from the
+        # page's true location, and the PTB's embedded copy is repaired
+        # lazily off the critical path.
+        def spec_read(start_ns: float) -> float:
+            return self._dram_read_ns(
+                snapshot[0] * 4096 + block_index * 64, start_ns
+            )
+
+        def repair(_start_ns: float) -> float:
+            self._repair_embedded(ppn, ptb_address)
+            self.stats.counter("embedded_mismatches").increment()
+            return 0.0
+
+        pipeline = serial(
+            parallel(
+                self._cte_fetch_stage(ppn),
+                Stage(STAGE_SPEC_DATA_FETCH, spec_read, wasted=True),
+            ),
+            self._data_pipeline(ppn, cte, block_index),
+            Stage(STAGE_CTE_REPAIR, repair, record=False),
         )
-        data_ns, in_ml2 = self._access_data(
-            ppn, cte, block_index, now_ns + max(cte_ns, wasted_ns)
-        )
-        self._repair_embedded(ppn, ptb_address)
-        latency = max(cte_ns, wasted_ns) + data_ns
-        path = PATH_ML2 if in_ml2 else PATH_PARALLEL_MISMATCH
-        self.stats.counter("embedded_mismatches").increment()
-        return latency, path, in_ml2
+        return pipeline, PATH_ML2 if cte.in_ml2 else PATH_PARALLEL_MISMATCH
 
     def _repair_embedded(self, ppn: int, ptb_address: int) -> None:
         """Piggybacked-response repair (Section V-A3, last paragraph)."""

@@ -26,6 +26,20 @@ from repro.core.base import (
     PATH_ML2,
     PATH_SERIAL_NO_CTE,
 )
+from repro.core.pipeline import (
+    STAGE_CTE_FETCH,
+    STAGE_DECOMPRESS,
+    STAGE_EVICT,
+    STAGE_MIGRATE,
+    STAGE_MIGRATION_STALL,
+    STAGE_ML2_READ,
+    PipelineNode,
+    Stage,
+    cond,
+    defer,
+    evaluate,
+    serial,
+)
 from repro.core.compmodel import PageCompressionModel, PageRecord
 from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
@@ -193,33 +207,46 @@ class TwoLevelController(MemoryController):
         self.stats.counter("l3_misses").increment()
         cte = self._cte.get(ppn)
         if cte is None:  # page unknown to the controller (e.g. I/O space)
-            latency = self._dram_read_ns(self._data_address(ppn, block_index), now_ns)
-            self.stats.histogram("miss_latency_ns").record(latency)
-            return MissResult(latency, PATH_CTE_HIT)
+            timeline = evaluate(self._data_fetch_stage(ppn, block_index), now_ns)
+            self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
+            self._record_stages(timeline, PATH_CTE_HIT, ppn)
+            return MissResult(timeline.total_ns, PATH_CTE_HIT,
+                              timeline=timeline)
 
-        if self.cte_cache.lookup(ppn):
-            latency, in_ml2 = self._access_data(ppn, cte, block_index, now_ns)
+        cache_hit = self.cte_cache.lookup(ppn)
+        in_ml2 = cte.in_ml2
+        if cache_hit:
+            pipeline = self._data_pipeline(ppn, cte, block_index)
             path = PATH_ML2 if in_ml2 else PATH_CTE_HIT
         else:
-            latency, path, in_ml2 = self._translate_on_miss(
-                ppn, cte, block_index, now_ns
-            )
+            pipeline, path = self._translate_pipeline(ppn, cte, block_index)
+        timeline = evaluate(pipeline, now_ns)
+        if not cache_hit:
             self.cte_cache.fill(ppn)
 
         if not cte.in_ml2 and not cte.is_incompressible:
             self.recency.on_access(ppn)
-        self._record_path(path, now_ns, latency, ppn)
-        self.stats.histogram("miss_latency_ns").record(latency)
-        return MissResult(latency, path, in_ml2=in_ml2)
+        self._record_path(path, now_ns, timeline.total_ns, ppn)
+        self._record_stages(timeline, path, ppn)
+        self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
+        return MissResult(timeline.total_ns, path, in_ml2=in_ml2,
+                          timeline=timeline)
 
-    def _translate_on_miss(
-        self, ppn: int, cte: PageCTE, block_index: int, now_ns: float
-    ) -> Tuple[float, str, bool]:
-        """CTE-cache miss: the baseline fetches the CTE *serially*."""
-        cte_ns = self._fetch_cte_ns(ppn, now_ns)
-        latency, in_ml2 = self._access_data(ppn, cte, block_index, now_ns + cte_ns)
-        path = PATH_ML2 if in_ml2 else PATH_SERIAL_NO_CTE
-        return cte_ns + latency, path, in_ml2
+    def _translate_pipeline(self, ppn: int, cte: PageCTE,
+                            block_index: int) -> Tuple[PipelineNode, str]:
+        """CTE-cache miss: the baseline fetches the CTE *serially*
+        (Figure 8a) -- the data access cannot start before the CTE
+        arrives.  TMCC overrides this with the parallel speculative
+        pipeline."""
+        pipeline = serial(
+            self._cte_fetch_stage(ppn),
+            self._data_pipeline(ppn, cte, block_index),
+        )
+        return pipeline, PATH_ML2 if cte.in_ml2 else PATH_SERIAL_NO_CTE
+
+    def _cte_fetch_stage(self, ppn: int) -> Stage:
+        return Stage(STAGE_CTE_FETCH,
+                     lambda start_ns: self._fetch_cte_ns(ppn, start_ns))
 
     def _fetch_cte_ns(self, ppn: int, now_ns: float) -> float:
         self.stats.counter("cte_dram_fetches").increment()
@@ -227,45 +254,74 @@ class TwoLevelController(MemoryController):
             self._cte_address(ppn, CTE_SIZE_PAGE), now_ns, include_noc=False
         )
 
-    def _access_data(self, ppn: int, cte: PageCTE, block_index: int,
-                     now_ns: float) -> Tuple[float, bool]:
-        if not cte.in_ml2:
-            return (
-                self._dram_read_ns(self._data_address(ppn, block_index), now_ns),
-                False,
-            )
-        return self._ml2_access(ppn, cte, now_ns), True
+    def _data_pipeline(self, ppn: int, cte: PageCTE,
+                       block_index: int) -> PipelineNode:
+        """Fetch the block: one DRAM read in ML1, or the ML2 decompress +
+        migrate pipeline.  The ML2 side is deferred because its stage
+        costs close over the sub-pipeline's own start time (the
+        migration-buffer reservation is made at arrival)."""
+        return cond(
+            cte.in_ml2,
+            defer(lambda start_ns: self._ml2_pipeline(ppn, cte, start_ns)),
+            self._data_fetch_stage(ppn, block_index),
+        )
 
     # ------------------------------------------------------------------
     # ML2 access: decompress + background migration to ML1
     # ------------------------------------------------------------------
 
-    def _ml2_access(self, ppn: int, cte: PageCTE, now_ns: float) -> float:
+    def _ml2_pipeline(self, ppn: int, cte: PageCTE,
+                      now_ns: float) -> PipelineNode:
+        """The ML2 service pipeline, anchored at ``now_ns``:
+
+        ml2_read -> decompress -> migration_stall -> [migrate] -> evict
+
+        The MC replies as soon as the needed block decompresses
+        (half-page latency); the full-page migration drains in the
+        background through the 8-entry buffer, whose occupancy is
+        reserved at the access's *arrival* time.  Eviction normally runs
+        behind demand accesses and contributes zero foreground latency;
+        under the Section VI priority flip (free list below the critical
+        watermark) the demand access pays for it.
+        """
         record = self._model.record_for(ppn)
         self.stats.counter("ml2_accesses").increment()
-
         compressed_blocks = -(-cte.compressed_size // BLOCK_SIZE)
-        first_read = self._dram_read_ns(
-            self._data_address(ppn, 0), now_ns, include_noc=True
-        )
-        self.dram.stream(self._data_address(ppn, 0), compressed_blocks - 1, now_ns)
-        # The MC replies as soon as the needed block decompresses.
-        latency = first_read + self._decompress_half_ns(record)
 
-        # Background migration to ML1 through the 8-entry buffer; a full
-        # buffer stalls this ML2 access (Section VI).
+        def ml2_read(start_ns: float) -> float:
+            first_read = self._dram_read_ns(
+                self._data_address(ppn, 0), start_ns, include_noc=True
+            )
+            self.dram.stream(self._data_address(ppn, 0),
+                             compressed_blocks - 1, start_ns)
+            return first_read
+
         migration_ns = self._decompress_full_ns(record) + 64 * \
             self.dram.config.timing.burst_ns
-        latency += self.migration.acquire(now_ns, migration_ns)
-        self._migrate_to_ml1(ppn, cte, now_ns + latency)
-        # Section VI priority rules: evictions normally run behind demand
-        # ML2 accesses, but once the free list drops below the critical
-        # watermark their priority flips and the demand access waits.
-        eviction_ns = self._maybe_evict(now_ns + latency)
-        if self.ml1_free.count < self.config.ml1_critical_watermark:
-            latency += eviction_ns
-            self.stats.counter("priority_flips").increment()
-        return latency
+
+        def migration_stall(_start_ns: float) -> float:
+            # The buffer entry is claimed when the access arrives, not
+            # when decompression finishes.
+            return self.migration.reserve(now_ns, migration_ns).stall_ns
+
+        def migrate(start_ns: float) -> float:
+            self._migrate_to_ml1(ppn, cte, start_ns)
+            return 0.0
+
+        def evict(start_ns: float) -> float:
+            eviction_ns = self._maybe_evict(start_ns)
+            if self.ml1_free.count < self.config.ml1_critical_watermark:
+                self.stats.counter("priority_flips").increment()
+                return eviction_ns
+            return 0.0
+
+        return serial(
+            Stage(STAGE_ML2_READ, ml2_read),
+            Stage(STAGE_DECOMPRESS, self._decompress_half_ns(record)),
+            Stage(STAGE_MIGRATION_STALL, migration_stall),
+            Stage(STAGE_MIGRATE, migrate, record=False),
+            Stage(STAGE_EVICT, evict),
+        )
 
     def _migrate_to_ml1(self, ppn: int, cte: PageCTE, now_ns: float) -> None:
         chunk = self.ml1_free.pop()

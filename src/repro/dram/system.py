@@ -23,7 +23,7 @@ VI): with it on, writes to one rank inflate the shared-bus horizon less.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatGroup
 from repro.dram.interleave import InterleavePolicy, SUBPAGE_EVERYWHERE
@@ -70,7 +70,11 @@ class _Bank:
 
 @dataclass(frozen=True)
 class ReadResult:
-    """Latency breakdown of one 64 B read."""
+    """Latency breakdown of one 64 B read.
+
+    The breakdown fields let access-pipeline stages tag where a read's
+    time went (queueing vs bank access) instead of only its total.
+    """
 
     latency_ns: float
     queue_ns: float
@@ -80,10 +84,26 @@ class ReadResult:
     channel: int
 
 
+@dataclass(frozen=True)
+class StreamResult:
+    """Bus-occupancy record of one multi-block sequential transfer."""
+
+    occupancy_ns: float
+    queue_ns: float
+    num_blocks: int
+    channel: int
+    is_write: bool
+
+
 class DRAMSystem:
     """All MCs/channels/banks behind one interface."""
 
-    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+    def __init__(self, config: Optional[DRAMConfig] = None) -> None:
+        # ``None`` default (not ``DRAMConfig()``): a default argument is
+        # evaluated once at import time and would be shared -- including
+        # its mutable timing/interleave sub-objects -- by every
+        # default-constructed system.
+        config = config if config is not None else DRAMConfig()
         self.config = config
         total_channels = config.num_mcs * config.channels_per_mc
         self._banks: List[Dict[Tuple[int, int], _Bank]] = [
@@ -191,7 +211,7 @@ class DRAMSystem:
     # ------------------------------------------------------------------
 
     def stream(self, address: int, num_blocks: int, now_ns: float,
-               is_write: bool = False) -> None:
+               is_write: bool = False) -> StreamResult:
         """Account bus occupancy for a multi-block sequential transfer.
 
         Page migrations and compressed-page reads move dozens of blocks;
@@ -199,17 +219,21 @@ class DRAMSystem:
         migration buffer), so here we only charge the data-bus time --
         respecting the paper's cap of at most 10 queue slots for
         page-granularity transfers by spreading them behind demand reads.
+        The returned :class:`StreamResult` carries the occupancy so
+        pipeline stages can tag background bus work.
         """
         if num_blocks <= 0:
-            return
+            return StreamResult(0.0, 0.0, 0, -1, is_write)
         _, channel_index, _ = self._route(address)
         occupancy = self.config.timing.burst_ns * num_blocks
-        self._enqueue(channel_index, now_ns, occupancy)
+        queue_ns = self._enqueue(channel_index, now_ns, occupancy)
         counter = "stream_writes" if is_write else "stream_reads"
         self.stats.counter(counter).increment(num_blocks)
         self.stats.counter(f"channel{channel_index}_busy_ns").increment(
             int(occupancy * 1000)
         )
+        return StreamResult(occupancy, queue_ns, num_blocks, channel_index,
+                            is_write)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -9,9 +9,28 @@ When all entries are busy, further ML2 accesses stall until one frees.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import List
 
 from repro.common.stats import Counter, Histogram
+
+
+@dataclass(frozen=True)
+class MigrationGrant:
+    """One granted buffer entry, with its stage costs broken out.
+
+    Access-pipeline stages consume ``stall_ns`` as the foreground cost;
+    ``start_ns``/``release_ns`` bound the background transfer for
+    timeline consumers.
+    """
+
+    stall_ns: float
+    start_ns: float
+    release_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.release_ns - self.start_ns
 
 
 class MigrationBuffer:
@@ -29,11 +48,12 @@ class MigrationBuffer:
         while self._release_times and self._release_times[0] <= now_ns:
             heapq.heappop(self._release_times)
 
-    def acquire(self, now_ns: float, duration_ns: float) -> float:
-        """Reserve an entry for ``duration_ns``; returns the stall suffered.
+    def reserve(self, now_ns: float, duration_ns: float) -> MigrationGrant:
+        """Reserve an entry for ``duration_ns``; returns the grant.
 
         If the buffer is full, the caller waits until the earliest entry
-        frees; that wait is returned (and recorded) as stall time.
+        frees; that wait is the grant's ``stall_ns`` (also recorded as
+        stall time), and the transfer starts at the freeing instant.
         """
         if duration_ns < 0:
             raise ValueError("duration must be non-negative")
@@ -48,7 +68,12 @@ class MigrationBuffer:
             self.stalls.increment()
             self.stall_ns.record(stall)
         heapq.heappush(self._release_times, start + duration_ns)
-        return stall
+        return MigrationGrant(stall, start, start + duration_ns)
+
+    def acquire(self, now_ns: float, duration_ns: float) -> float:
+        """:meth:`reserve`, reduced to the stall -- for callers that do
+        not break out stage costs."""
+        return self.reserve(now_ns, duration_ns).stall_ns
 
     def occupancy(self, now_ns: float) -> int:
         self._drain(now_ns)

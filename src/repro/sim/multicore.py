@@ -125,6 +125,12 @@ class MultiCoreSimulator:
             self.context.probe("controller", stats=self.controller.stats))
         self.context.metrics.attach("controller.paths",
                                     self.controller.path_fractions)
+        # Per-stage access-pipeline latencies, same namespaces as the
+        # single-core simulator.
+        self.context.metrics.attach("controller.stage",
+                                    self.controller.stage_stats)
+        self.context.metrics.attach("controller.breakdown",
+                                    self.controller.stage_accounting)
         if hasattr(self.controller, "cte_cache"):
             self.context.register("controller.cte_cache",
                                   self.controller.cte_cache)

@@ -157,6 +157,13 @@ class Simulator:
             self.context.probe("controller", stats=self.controller.stats))
         self.context.metrics.attach("controller.paths",
                                     self.controller.path_fractions)
+        # Per-stage access-pipeline latencies (Figures 8/18): histograms
+        # under controller.stage.*, per-path aggregation under
+        # controller.breakdown.* (both reset at the warm-up boundary).
+        self.context.metrics.attach("controller.stage",
+                                    self.controller.stage_stats)
+        self.context.metrics.attach("controller.breakdown",
+                                    self.controller.stage_accounting)
         if hasattr(self.controller, "cte_cache"):
             self.context.register("controller.cte_cache",
                                   self.controller.cte_cache)

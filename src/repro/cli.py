@@ -31,6 +31,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.common.errors import ERROR_KIND_CONFIG, classify_error
 from repro.common.units import PAGE_SIZE
 from repro.compression.block import SelectiveBlockCompressor
 from repro.compression.deflate import (
@@ -53,6 +54,42 @@ def _controller_names() -> List[str]:
     from repro.core import available_controllers
 
     return available_controllers()
+
+
+def _validate_args(args: argparse.Namespace) -> Optional[str]:
+    """One-line validation errors for knobs shared across subcommands.
+
+    Catching impossible values here keeps deep model-layer tracebacks
+    (negative trace lengths, empty placement plans) out of the user's
+    face; the return value is printed as ``error: <message>``.
+    """
+    accesses = getattr(args, "accesses", None)
+    if accesses is not None and accesses <= 0:
+        return f"--accesses must be > 0, got {accesses}"
+    scale = getattr(args, "scale", None)
+    if scale is not None and not 0.0 < scale <= 1.0:
+        return f"--scale must be in (0, 1], got {scale}"
+    points = getattr(args, "points", None)
+    if points is not None and points <= 0:
+        return f"--points must be > 0, got {points}"
+    cores = getattr(args, "cores", None)
+    if cores is not None and cores < 1:
+        return f"--cores must be >= 1, got {cores}"
+    seed = getattr(args, "seed", None)
+    if seed is not None and seed < 0:
+        return f"--seed must be >= 0, got {seed}"
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    if checkpoint_every is not None and checkpoint_every < 0:
+        return f"--checkpoint-every must be >= 0, got {checkpoint_every}"
+    if checkpoint_every and not getattr(args, "checkpoint", None):
+        return "--checkpoint-every needs --checkpoint PATH"
+    limit = getattr(args, "wall_clock_limit", None)
+    if limit is not None and limit <= 0:
+        return f"--wall-clock-limit must be > 0 seconds, got {limit}"
+    pages = getattr(args, "pages", None)
+    if pages is not None and pages <= 0:
+        return f"--pages must be > 0, got {pages}"
+    return None
 
 
 def _check_controller(name: str) -> bool:
@@ -130,48 +167,109 @@ def _print_breakdown(accounting) -> None:
               f"{row['mean_ns']:>10.2f} {row['share']:>7.1%}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.controller == "list":
-        for name in _controller_names():
-            print(name)
-        return 0
+def _run_failure(args: argparse.Namespace, error: BaseException,
+                 sim=None) -> int:
+    """Report a failed ``run``: one stderr line, plus JSON when asked.
+
+    With ``--emit-json`` the failure still produces a JSON document --
+    an ``error`` field, its taxonomy ``error_kind``, and whatever
+    metrics the simulator collected before dying -- so harnesses never
+    have to parse tracebacks.  Exit code 2 for configuration mistakes,
+    1 for model-invariant / resource failures.
+    """
+    kind = classify_error(error)
+    message = str(error) or type(error).__name__
+    print(f"error ({kind}): {message}", file=sys.stderr)
+    if getattr(args, "emit_json", False):
+        metrics = {}
+        if sim is not None:
+            try:
+                metrics = sim.context.metrics.snapshot()
+            except Exception:
+                metrics = {}
+        print(json.dumps({"error": message, "error_kind": kind,
+                          "metrics": metrics}, indent=2, sort_keys=True))
+    return 2 if kind == ERROR_KIND_CONFIG else 1
+
+
+def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
+    issue = _validate_args(args)
+    if issue is not None:
+        return issue
+    if args.resume is not None:
+        if args.faults:
+            return ("--faults cannot be combined with --resume; the "
+                    "fault plan is part of the checkpoint")
+        if args.cores > 1:
+            return "--resume only supports single-core runs"
+        return None
     if args.workload is None:
-        print("a workload is required unless --controller list",
-              file=sys.stderr)
-        return 2
+        return "a workload is required unless --controller list or --resume"
     if args.workload not in PAPER_WORKLOAD_NAMES:
-        print(f"unknown workload {args.workload!r}; "
-              f"choose from {PAPER_WORKLOAD_NAMES}", file=sys.stderr)
-        return 2
-    if not _check_controller(args.controller):
-        return 2
+        return (f"unknown workload {args.workload!r}; "
+                f"choose from {PAPER_WORKLOAD_NAMES}")
+    if args.cores > 1 and args.faults:
+        return "--faults only supports single-core runs"
+    if args.cores > 1 and (args.checkpoint or args.wall_clock_limit):
+        return "--checkpoint/--wall-clock-limit only support single-core runs"
+    return None
+
+
+def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
+    """The body of ``repro run``; raises into :func:`_run_failure`."""
+    from repro.sim.faults import FaultPlan
+    from repro.sim.supervisor import ConfigError, RunSupervisor, load_checkpoint
+
+    plan = FaultPlan.parse(args.faults) if args.faults else None
 
     trace_file = None
     if args.trace_events:  # fail fast, before the expensive trace build
         try:
             trace_file = open(args.trace_events, "w")
         except OSError as error:
-            print(f"cannot write trace events to {args.trace_events!r}: "
-                  f"{error}", file=sys.stderr)
-            return 2
+            raise ConfigError(
+                f"cannot write trace events to {args.trace_events!r}: "
+                f"{error}") from error
 
-    from repro.sim.multicore import MultiCoreSimulator
-    from repro.sim.simulator import Simulator
-
-    workload = workload_by_name(args.workload, max_accesses=args.accesses,
-                                scale=args.scale)
-    if args.cores > 1:
-        sim = MultiCoreSimulator(workload, num_cores=args.cores,
-                                 controller=args.controller, seed=args.seed)
+    if args.resume is not None:
+        if args.workload is not None:
+            print(f"note: resuming from {args.resume}; "
+                  f"workload argument ignored", file=sys.stderr)
+        sim = load_checkpoint(args.resume)
+        controller_name = sim.controller_name
     else:
-        sim = Simulator(workload, controller=args.controller, seed=args.seed)
+        from repro.sim.multicore import MultiCoreSimulator
+        from repro.sim.simulator import Simulator
+
+        workload = workload_by_name(args.workload, max_accesses=args.accesses,
+                                    scale=args.scale)
+        controller_name = args.controller
+        if args.cores > 1:
+            sim = MultiCoreSimulator(workload, num_cores=args.cores,
+                                     controller=args.controller,
+                                     seed=args.seed)
+        else:
+            sim = Simulator(workload, controller=args.controller,
+                            seed=args.seed, fault_plan=plan)
+    holder["sim"] = sim
+
+    supervisor = None
+    if args.checkpoint or args.wall_clock_limit:
+        supervisor = RunSupervisor(
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            wall_clock_limit_s=args.wall_clock_limit,
+        )
 
     if trace_file is not None:
         sim.context.bus.subscribe_all(
             lambda event: trace_file.write(
                 json.dumps(event.as_dict(), sort_keys=True) + "\n"))
     try:
-        result = sim.run()
+        if supervisor is not None:
+            result = supervisor.run(sim)
+        else:
+            result = sim.run()
     finally:
         if trace_file is not None:
             sim.context.bus.unsubscribe_all()
@@ -183,17 +281,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         record = result.as_dict()
         record["metrics_tree"] = nest_metrics(result.metrics)
         print(json.dumps(record, indent=2, sort_keys=True))
-        return 0
-    print(f"{workload.name} / {args.controller}: {result.accesses} accesses, "
-          f"{result.l3_misses} LLC misses, "
-          f"avg miss latency {result.avg_l3_miss_latency_ns:.1f} ns, "
-          f"perf {result.performance:.1f}/us, "
-          f"capacity {result.compression_ratio:.2f}x")
-    if args.breakdown:
-        _print_breakdown(sim.controller.stage_accounting)
-    if args.trace_events:
-        print(f"trace events written to {args.trace_events}")
+    else:
+        print(f"{sim.workload.name} / {controller_name}: "
+              f"{result.accesses} accesses, "
+              f"{result.l3_misses} LLC misses, "
+              f"avg miss latency {result.avg_l3_miss_latency_ns:.1f} ns, "
+              f"perf {result.performance:.1f}/us, "
+              f"capacity {result.compression_ratio:.2f}x")
+        if args.breakdown:
+            _print_breakdown(sim.controller.stage_accounting)
+        if args.trace_events:
+            print(f"trace events written to {args.trace_events}")
+    if result.truncated:
+        print(f"run truncated: {result.error}", file=sys.stderr)
+        if args.checkpoint:
+            print(f"resume with: repro run --resume {args.checkpoint}",
+                  file=sys.stderr)
+        return 3
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.controller == "list":
+        for name in _controller_names():
+            print(name)
+        return 0
+    issue = _validate_run_args(args)
+    if issue is not None:
+        from repro.common.errors import ConfigError
+
+        return _run_failure(args, ConfigError(issue))
+    if args.resume is None and not _check_controller(args.controller):
+        return 2
+    holder: dict = {}
+    try:
+        return _run_simulation(args, holder)
+    except BrokenPipeError:
+        raise
+    except Exception as error:
+        return _run_failure(args, error, holder.get("sim"))
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -314,9 +440,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--breakdown", action="store_true",
                      help="print the per-path per-stage miss-latency table")
     run.add_argument("--emit-json", action="store_true",
-                     help="emit the result plus the namespaced metric tree")
+                     help="emit the result plus the namespaced metric tree "
+                          "(on failure: an error document)")
     run.add_argument("--trace-events", metavar="PATH",
                      help="write instrumentation events as JSONL")
+    run.add_argument("--faults", metavar="SPEC",
+                     help="inject deterministic faults: comma-separated "
+                          "kind[:rate[:burst]][@start-end] "
+                          "(see repro.sim.faults for the kinds)")
+    run.add_argument("--checkpoint", metavar="PATH",
+                     help="checkpoint file to write (with --checkpoint-every "
+                          "or on wall-clock truncation)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="checkpoint every N accesses (needs --checkpoint)")
+    run.add_argument("--resume", metavar="PATH",
+                     help="resume a run from a checkpoint file")
+    run.add_argument("--wall-clock-limit", type=float, metavar="SECONDS",
+                     help="stop gracefully (exit 3, partial result) after "
+                          "this much wall-clock time")
 
     for name, help_text in (("compare", "TMCC vs Compresso at iso-capacity"),
                             ("sweep", "performance/capacity trade-off")):
@@ -356,6 +497,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
     }
+    if args.command != "run":  # run validates inside (for --emit-json)
+        issue = _validate_args(args)
+        if issue is not None:
+            print(f"error: {issue}", file=sys.stderr)
+            return 2
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. piped into `head`

@@ -1,0 +1,70 @@
+"""The structured simulation-error taxonomy.
+
+Every error the stack raises deliberately falls into one of three kinds,
+so front-ends (the CLI, the benchmark harness, the run supervisor) can
+react uniformly instead of pattern-matching message strings:
+
+- :class:`ConfigError` -- the *request* was impossible: a DRAM budget
+  below the compressible floor, a non-positive trace length, a scale
+  outside (0, 1].  Also a :class:`ValueError`, so pre-taxonomy callers
+  (``except ValueError``) keep working.  CLI exit code 2.
+- :class:`ModelInvariantError` -- the *model* broke: a double free, a
+  dismantled super-chunk handed back, a stage latency going negative.
+  These indicate a bug (ours or an injected fault's), never bad input.
+  Also a :class:`RuntimeError`.  CLI exit code 1.
+- :class:`ResourceError` -- the *run* ran out of something external:
+  wall-clock budget, checkpoint storage, file handles.  Also a
+  :class:`RuntimeError`.  CLI exit code 1.
+
+:func:`classify_error` maps any exception (taxonomy or not) to one of
+the ``ERROR_KIND_*`` labels for structured reporting (``repro run
+--emit-json`` error documents, the supervisor's truncation records).
+"""
+
+from __future__ import annotations
+
+ERROR_KIND_CONFIG = "config"
+ERROR_KIND_INVARIANT = "model_invariant"
+ERROR_KIND_RESOURCE = "resource"
+ERROR_KIND_INTERNAL = "internal"
+
+
+class SimError(Exception):
+    """Base of the structured simulation-error taxonomy."""
+
+    kind = ERROR_KIND_INTERNAL
+
+
+class ConfigError(SimError, ValueError):
+    """The requested configuration cannot be simulated."""
+
+    kind = ERROR_KIND_CONFIG
+
+
+class ModelInvariantError(SimError, RuntimeError):
+    """Simulation state violated a model invariant (a bug or a fault)."""
+
+    kind = ERROR_KIND_INVARIANT
+
+
+class ResourceError(SimError, RuntimeError):
+    """The run exhausted an external resource (time, storage, ...)."""
+
+    kind = ERROR_KIND_RESOURCE
+
+
+def classify_error(error: BaseException) -> str:
+    """The taxonomy kind for any exception.
+
+    Taxonomy members report their own kind; plain ``ValueError``s from
+    pre-taxonomy code are treated as configuration errors (they are
+    raised for impossible requests throughout the model layers), and
+    everything else is ``internal``.
+    """
+    if isinstance(error, SimError):
+        return error.kind
+    if isinstance(error, ValueError):
+        return ERROR_KIND_CONFIG
+    if isinstance(error, (OSError, MemoryError, TimeoutError)):
+        return ERROR_KIND_RESOURCE
+    return ERROR_KIND_INTERNAL

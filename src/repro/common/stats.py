@@ -142,6 +142,17 @@ class StatGroup:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
+    def count_of(self, name: str) -> int:
+        """A counter's value without creating it.
+
+        Result builders read through this so that reporting a partial
+        (truncated) result never changes which counters exist -- counter
+        existence is part of checkpointed state, and resumed runs must
+        stay bit-identical to uninterrupted ones.
+        """
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
     def ratio(self, name: str) -> RatioStat:
         if name not in self._ratios:
             self._ratios[name] = RatioStat(name)

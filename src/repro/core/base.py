@@ -23,6 +23,7 @@ from repro.core.pipeline import (
     StageAccounting,
     evaluate,
 )
+from repro.core.resilience import ResilienceState
 from repro.dram.system import DRAMSystem
 
 #: Access-path labels (Figure 8 timelines / Figure 19 breakdown).
@@ -93,6 +94,10 @@ class MemoryController:
         #: Instrumentation handle; harmless no-op bus until a context
         #: attaches its own via :meth:`attach_instrumentation`.
         self._probe = None
+        #: Pressure-resilience switches and ``resilience.*`` counters.
+        #: Disabled by default: no-fault runs stay bit-identical to a
+        #: build without the resilience layer.
+        self.resilience = ResilienceState()
         #: ppn -> nominal DRAM page for address formation.
         self._dram_page: Dict[int, int] = {}
         self._cte_table_base = 0  # set at initialize()
@@ -139,11 +144,34 @@ class MemoryController:
 
     def _dram_read_ns(self, address: int, now_ns: float,
                       include_noc: bool = True) -> float:
-        """One 64 B DRAM read; CTE reads skip the LLC<->MC NoC leg."""
+        """One 64 B DRAM read; CTE reads skip the LLC<->MC NoC leg.
+
+        With resilience enabled and a transient DRAM error pending
+        (:mod:`repro.sim.faults`), the read is re-issued with bounded
+        retries -- each retry is a real DRAM access whose latency the
+        miss pays -- instead of silently returning corrupt data.
+        """
         result = self.dram.read(address, now_ns)
+        latency = result.latency_ns
+        resilience = self.resilience
+        if resilience.enabled and resilience.pending_dram_errors:
+            retries = 0
+            while (resilience.pending_dram_errors
+                   and retries < resilience.max_dram_retries):
+                resilience.pending_dram_errors -= 1
+                retries += 1
+                retry = self.dram.read(address, now_ns + latency)
+                latency += retry.latency_ns
+            resilience.count("dram_read_errors", retries)
+            resilience.count("dram_retries", retries)
+            if resilience.pending_dram_errors:
+                # Retry budget exhausted: model the ECC-correction
+                # fallback instead of looping forever.
+                resilience.pending_dram_errors = 0
+                resilience.count("dram_retry_exhausted")
         if include_noc:
-            return result.latency_ns
-        return result.latency_ns - self.dram.config.timing.noc_ns
+            return latency
+        return latency - self.dram.config.timing.noc_ns
 
     # ------------------------------------------------------------------
     # Runtime interface
@@ -190,7 +218,7 @@ class MemoryController:
 
     def path_fractions(self) -> Dict[str, float]:
         """Figure 19: how ML1 reads were served, as fractions."""
-        counts = {p: self.stats.counter(f"path_{p}").value for p in ACCESS_PATHS}
+        counts = {p: self.stats.count_of(f"path_{p}") for p in ACCESS_PATHS}
         total = sum(counts.values())
         if not total:
             return {p: 0.0 for p in ACCESS_PATHS}

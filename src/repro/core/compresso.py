@@ -235,8 +235,8 @@ class CompressoController(MemoryController):
     @property
     def cte_llc_hit_rate(self) -> float:
         """Of CTE-cache misses, the fraction served by the LLC victims."""
-        hits = self.stats.counter("cte_llc_hits").value
-        misses = self.stats.counter("cte_llc_misses").value
+        hits = self.stats.count_of("cte_llc_hits")
+        misses = self.stats.count_of("cte_llc_misses")
         total = hits + misses
         return hits / total if total else 0.0
 

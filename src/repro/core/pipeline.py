@@ -52,6 +52,7 @@ STAGE_DECOMPRESS = "decompress"
 STAGE_MIGRATION_STALL = "migration_stall"
 STAGE_MIGRATE = "migrate"
 STAGE_EVICT = "evict"
+STAGE_EMERGENCY_EVICT = "emergency_evict"
 
 
 @dataclass

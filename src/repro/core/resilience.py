@@ -1,0 +1,53 @@
+"""Controller-side resilience state: pressure handling and fault intake.
+
+Every :class:`~repro.core.base.MemoryController` owns a
+:class:`ResilienceState`.  It is **disabled by default** and, while
+disabled, every hook is a single attribute check -- a no-fault run is
+bit-identical to a build without this module.  The fault injector
+(:mod:`repro.sim.faults`) or ``Simulator(resilience=True)`` enables it,
+which arms:
+
+- the capacity-pressure watchdog (emergency eviction expressed as the
+  ``emergency_evict`` pipeline stage instead of a wedged free list),
+- overflow-to-uncompressed retention when ML2 cannot carve a sub-chunk
+  for an eviction victim (Compresso's worst-case behaviour, modeled
+  instead of aborted),
+- transient-DRAM-error retries in the shared DRAM read helper.
+
+All counters live in one :class:`~repro.common.stats.StatGroup`
+published under the ``resilience.*`` metric namespace (see
+``docs/architecture.md`` for the key list).
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+
+#: Bounded retry: a transient DRAM read error is re-issued at most this
+#: many times per read before the model falls back to ECC correction.
+MAX_DRAM_RETRIES = 4
+
+
+class ResilienceState:
+    """Per-controller fault intake and graceful-degradation switches."""
+
+    def __init__(self) -> None:
+        #: Master switch; while False no behaviour differs from main.
+        self.enabled = False
+        self.stats = StatGroup("resilience")
+        #: Eviction victims to treat as incompressible (burst faults).
+        self.incompressible_burst = 0
+        #: Outstanding transient DRAM read errors to serve with retries.
+        self.pending_dram_errors = 0
+        self.max_dram_retries = MAX_DRAM_RETRIES
+
+    # ------------------------------------------------------------------
+    # Convenience counters (all under the ``resilience.*`` namespace)
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.stats.counter(name).increment(amount)
+
+    def count_fault(self, kind: str) -> None:
+        self.count("faults_injected")
+        self.count(f"faults.{kind}")

@@ -183,6 +183,35 @@ class TMCCController(TwoLevelController):
         if ppn in self._cte_buffer:
             self._cte_buffer[ppn] = (fresh, ptb_address)
         self.stats.counter("embedded_repairs").increment()
+        self.resilience.count("cte_repairs")
+
+    # ------------------------------------------------------------------
+    # Fault intake (repro.sim.faults)
+    # ------------------------------------------------------------------
+
+    def inject_stale_cte(self, rng) -> Optional[int]:
+        """Corrupt one buffered embedded-CTE snapshot (fault injection).
+
+        Models a PTB whose embedded CTE went stale without the usual
+        migration bookkeeping (e.g. lost repair).  Picks a currently-
+        consistent buffered snapshot, flips its dram_page, and drops the
+        page's CTE-cache block so the next LLC miss takes the speculative
+        path -- forcing the verify-mismatch replay + lazy repair
+        machinery.  Returns the chosen ppn, or None if nothing was
+        eligible.
+        """
+        candidates = [
+            ppn for ppn, (snapshot, _) in self._cte_buffer.items()
+            if snapshot is not None and snapshot == self._snapshot(ppn)
+        ]
+        if not candidates:
+            return None
+        ppn = rng.choice(candidates)
+        snapshot, ptb_address = self._cte_buffer[ppn]
+        stale = (snapshot[0] ^ 0x1,) + snapshot[1:]
+        self._cte_buffer[ppn] = (stale, ptb_address)
+        self.cte_cache.invalidate_page(ppn)
+        return ppn
 
     # ------------------------------------------------------------------
     # Reporting
@@ -191,8 +220,8 @@ class TMCCController(TwoLevelController):
     @property
     def embedded_coverage(self) -> float:
         """Fraction of CTE-cache misses served via embedded CTEs."""
-        ok = self.stats.counter("path_parallel_ok").value
-        bad = self.stats.counter("path_parallel_mismatch").value
-        serial = self.stats.counter("path_serial_no_cte").value
+        ok = self.stats.count_of("path_parallel_ok")
+        bad = self.stats.count_of("path_parallel_mismatch")
+        serial = self.stats.count_of("path_serial_no_cte")
         total = ok + bad + serial
         return (ok + bad) / total if total else 0.0

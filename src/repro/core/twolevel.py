@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRNG
 from repro.common.units import BLOCK_SIZE, PAGE_SIZE
 from repro.core.base import (
@@ -29,6 +30,7 @@ from repro.core.base import (
 from repro.core.pipeline import (
     STAGE_CTE_FETCH,
     STAGE_DECOMPRESS,
+    STAGE_EMERGENCY_EVICT,
     STAGE_EVICT,
     STAGE_MIGRATE,
     STAGE_MIGRATION_STALL,
@@ -134,7 +136,7 @@ class TwoLevelController(MemoryController):
         reserve = min(self.config.ml1_low_watermark, max(2, budget_chunks // 8))
         available = budget_chunks - len(must_ml1) - reserve
         if available < 0:
-            raise ValueError(
+            raise ConfigError(
                 f"DRAM budget {dram_budget_bytes} cannot hold even the "
                 f"{len(must_ml1)} uncompressible/pinned pages"
             )
@@ -172,7 +174,9 @@ class TwoLevelController(MemoryController):
             return ml1_count + ml2_chunks <= available_chunks
 
         if not fits(0):
-            raise ValueError("DRAM budget too small even with full compression")
+            raise ConfigError(
+                "DRAM budget too small even with full compression"
+            )
         low, high = 0, len(sizes)
         while low < high:
             mid = (low + high + 1) // 2
@@ -315,13 +319,37 @@ class TwoLevelController(MemoryController):
                 return eviction_ns
             return 0.0
 
-        return serial(
+        stages = [
             Stage(STAGE_ML2_READ, ml2_read),
             Stage(STAGE_DECOMPRESS, self._decompress_half_ns(record)),
             Stage(STAGE_MIGRATION_STALL, migration_stall),
             Stage(STAGE_MIGRATE, migrate, record=False),
             Stage(STAGE_EVICT, evict),
-        )
+        ]
+        if self.resilience.enabled:
+            stages.append(Stage(STAGE_EMERGENCY_EVICT, self._emergency_evict))
+        return serial(*stages)
+
+    def _emergency_evict(self, start_ns: float) -> float:
+        """Capacity-pressure watchdog (resilience-enabled runs only).
+
+        When the ordinary eviction pump leaves the ML1 free list empty --
+        e.g. under an injected free-space-exhaustion fault -- the pump
+        wedged state that used to persist silently is converted into a
+        modeled emergency migration: force one eviction in the demand
+        access's foreground and account it under ``resilience.*``.
+        """
+        if self.ml1_free.count > 0:
+            return 0.0
+        resilience = self.resilience
+        resilience.count("emergency_evictions")
+        foreground_ns = self._maybe_evict(start_ns, force_one=True)
+        if self.ml1_free.count == 0:
+            # Even the emergency pass found nothing to evict (everything
+            # pinned/incompressible): the controller keeps serving from
+            # ML2 (decompress-on-access) instead of raising.
+            resilience.count("emergency_eviction_starved")
+        return foreground_ns
 
     def _migrate_to_ml1(self, ppn: int, cte: PageCTE, now_ns: float) -> None:
         chunk = self.ml1_free.pop()
@@ -374,20 +402,38 @@ class TwoLevelController(MemoryController):
             if cte is None or cte.in_ml2 or victim in self._pinned:
                 continue
             record = self._model.record_for(victim)
-            if record.deflate_incompressible:
+            resilience = self.resilience
+            forced_incompressible = False
+            if resilience.enabled and resilience.incompressible_burst > 0:
+                # Injected burst: the victim's fresh contents no longer
+                # compress (e.g. newly encrypted pages).
+                resilience.incompressible_burst -= 1
+                resilience.count("incompressible_forced")
+                forced_incompressible = True
+            if record.deflate_incompressible or forced_incompressible:
                 # Retain in ML1, off the recency list (Section IV-B).
                 cte.is_incompressible = True
                 self.stats.counter("incompressible_retained").increment()
+                if forced_incompressible:
+                    resilience.count("overflow_uncompressed")
                 continue
             old_chunk = self._dram_page[victim]
             self.ml1_free.push(old_chunk)
             if not self._place_in_ml2(victim):
-                # Could not carve a sub-chunk; undo and stop evicting.
+                # Could not carve a sub-chunk; undo the free-list push.
                 popped = self.ml1_free.pop()
                 self._dram_page[victim] = popped
                 self._cte[victim] = PageCTE(dram_page=popped, in_ml2=False)
-                self.recency.push_hot(victim)
                 self.stats.counter("eviction_failed").increment()
+                if resilience.enabled:
+                    # Overflow-to-uncompressed: the victim stays resident
+                    # uncompressed (off the recency list, like Compresso's
+                    # overflow region) and the pump keeps draining other
+                    # candidates instead of giving up mid-pressure.
+                    self._cte[victim].is_incompressible = True
+                    resilience.count("overflow_uncompressed")
+                    continue
+                self.recency.push_hot(victim)
                 break
             # Compressed page streams out in the background.
             compressed_blocks = -(-record.deflate_bytes // BLOCK_SIZE)
@@ -440,7 +486,7 @@ class TwoLevelController(MemoryController):
 
     def ml2_access_rate(self) -> float:
         """ML2 accesses per LLC miss (Figure 21's metric)."""
-        misses = self.stats.counter("l3_misses").value
+        misses = self.stats.count_of("l3_misses")
         if not misses:
             return 0.0
-        return self.stats.counter("ml2_accesses").value / misses
+        return self.stats.count_of("ml2_accesses") / misses

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.common.errors import ModelInvariantError
 from repro.common.units import PAGE_SIZE
 
 
@@ -77,6 +78,9 @@ class SuperChunk:
     chunk_ids: List[int]
     free_slots: List[int] = field(default_factory=list)
     total_slots: int = 0
+    #: First backing chunk at carve time; survives dismantling so error
+    #: messages can still name the super-chunk's address.
+    origin_chunk: Optional[int] = None
 
     @classmethod
     def carve(cls, subchunk_size: int, chunk_ids: List[int], slots: int) -> "SuperChunk":
@@ -85,6 +89,7 @@ class SuperChunk:
             chunk_ids=list(chunk_ids),
             free_slots=list(range(slots - 1, -1, -1)),  # allocate slot 0 first
             total_slots=slots,
+            origin_chunk=chunk_ids[0] if chunk_ids else None,
         )
 
     @property
@@ -160,10 +165,21 @@ class ML2FreeLists:
     def free(self, subchunk: SubChunk, ml1: ML1FreeList) -> None:
         """Release a sub-chunk; dismantles empty super-chunks into ML1."""
         superchunk = subchunk.superchunk
+        size = superchunk.subchunk_size
+        origin = superchunk.origin_chunk
+        where = f"size class {size} B, chunk {origin}"
+        if origin is not None:
+            address = origin * PAGE_SIZE + subchunk.slot * size
+            where += f", address {address:#x}"
         if superchunk.total_slots == 0:
-            raise ValueError("sub-chunk's super-chunk was already dismantled")
+            raise ModelInvariantError(
+                f"free of sub-chunk slot {subchunk.slot} ({where}) whose "
+                f"super-chunk was already dismantled into ML1"
+            )
         if subchunk.slot in superchunk.free_slots:
-            raise ValueError(f"double free of sub-chunk slot {subchunk.slot}")
+            raise ModelInvariantError(
+                f"double free of sub-chunk slot {subchunk.slot} ({where})"
+            )
         had_free = superchunk.has_free
         superchunk.free_slots.append(subchunk.slot)
         stack = self._lists[superchunk.subchunk_size]

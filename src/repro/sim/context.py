@@ -37,6 +37,7 @@ _RNG_STREAMS: Dict[str, Callable[[int], int]] = {
     "placement": lambda seed: seed ^ 0xD81F7,  # warm-up placement drift
     "compression": lambda seed: seed,         # page compression sampling
     "controller": lambda seed: seed,          # controller-internal forks
+    "faults": lambda seed: seed ^ 0xFA17_5EED,  # fault-injection sampling
 }
 
 

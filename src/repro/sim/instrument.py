@@ -73,6 +73,21 @@ class EventBus:
         self._by_kind.clear()
         self._all.clear()
 
+    def detach_subscribers(self) -> tuple:
+        """Remove and return every subscriber (checkpoint support).
+
+        Subscribers are often closures over open files, which cannot be
+        pickled; the run supervisor detaches them around a checkpoint
+        dump and restores them with :meth:`restore_subscribers`.
+        """
+        saved = (self._by_kind, self._all)
+        self._by_kind = {}
+        self._all = []
+        return saved
+
+    def restore_subscribers(self, saved: tuple) -> None:
+        self._by_kind, self._all = saved
+
     def publish(self, kind: str, time_ns: float, **payload: object) -> None:
         if not (self._all or self._by_kind):
             return

@@ -42,6 +42,11 @@ class SimResult:
     ml2_access_rate: float = 0.0
     path_fractions: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: The run stopped early (wall-clock watchdog or user interrupt);
+    #: metrics cover only the accesses actually replayed.
+    truncated: bool = False
+    #: Why a truncated/failed run stopped, when known (one line).
+    error: str = ""
     #: Full namespaced metric dump (``tlb.hit_rate``, ``controller.paths.
     #: cte_hit``, ...) from the run's MetricsRegistry; the key scheme is
     #: documented in docs/architecture.md.

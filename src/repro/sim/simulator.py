@@ -23,6 +23,7 @@ decorating a class -- no simulator edits.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
@@ -38,11 +39,26 @@ from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
 from repro.sim.context import SimContext
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.results import SimResult
 from repro.vm.pagetable import FrameAllocator, PageTable, PageTablePopulator
 from repro.vm.tlb import TLB
 from repro.vm.walker import PageWalker
 from repro.workloads.trace import Workload
+
+
+@dataclass
+class RunProgress:
+    """Where a (possibly supervised) trace replay currently stands.
+
+    Lives on the simulator so a checkpoint of the simulator object
+    captures the loop position alongside every component's state.
+    """
+
+    index: int
+    warmup_end: int
+    measured: int = 0
+    measure_start_ns: float = 0.0
 
 
 class Simulator:
@@ -60,6 +76,8 @@ class Simulator:
         placement_drift: float = 0.03,
         virtualized: bool = False,
         context: Optional[SimContext] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: bool = False,
     ) -> None:
         if controller not in CONTROLLER_REGISTRY:
             raise ValueError(f"unknown controller {controller!r}; "
@@ -194,11 +212,28 @@ class Simulator:
         else:
             self.controller.initialize(data_ppns, hotness, table_ppns, self.model)
 
+        # -- resilience: fault injection + graceful degradation ---------
+        #: With a fault plan (or ``resilience=True``) the controller's
+        #: emergency paths arm; without either, nothing differs from a
+        #: fault-free build (bit-identical runs).
+        self._fault_injector: Optional[FaultInjector] = None
+        if fault_plan:
+            self._fault_injector = FaultInjector(
+                fault_plan, self.context.rng("faults"), self.controller)
+        elif resilience:
+            self.controller.resilience.enabled = True
+        self.context.metrics.attach("resilience",
+                                    self.controller.resilience.stats)
+
         # -- per-run counters -------------------------------------------
         self._fig5_cte_misses = 0
         self._fig5_after_tlb = 0
         self._l3_data_misses = 0
         self._tlb_misses = 0
+        #: In-flight replay position; ``None`` between runs.  A run
+        #: supervisor checkpoints the simulator mid-loop, so progress is
+        #: part of the object's picklable state.
+        self._run_state: Optional[RunProgress] = None
         self.context.metrics.attach("sim", self._sim_metrics)
 
     # ------------------------------------------------------------------
@@ -257,27 +292,54 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, warmup_fraction: float = 0.2) -> SimResult:
-        """Replay the trace; statistics cover the post-warmup region."""
+    def run(self, warmup_fraction: float = 0.2,
+            supervisor=None) -> SimResult:
+        """Replay the trace; statistics cover the post-warmup region.
+
+        With a :class:`~repro.sim.supervisor.RunSupervisor`, the loop
+        additionally checkpoints on the supervisor's cadence and stops
+        early (returning a partial result flagged ``truncated``) when
+        its wall-clock watchdog fires.  A simulator restored from a
+        checkpoint resumes exactly where it stopped: the loop position
+        rides on the object as :class:`RunProgress`.
+        """
         trace = self.workload.trace
-        warmup_end = int(len(trace) * warmup_fraction)
+        state = self._run_state
+        if state is None:
+            state = self._run_state = RunProgress(
+                index=0, warmup_end=int(len(trace) * warmup_fraction))
         config = self.system
         compute_ns = config.cycles_to_ns(self.workload.compute_cycles_per_access)
-        measured_accesses = 0
-        measure_start_ns = 0.0
+        injector = self._fault_injector
+        stop_reason = None
 
-        for index, (vaddr, is_write) in enumerate(trace):
-            if index == warmup_end:
+        while state.index < len(trace):
+            if supervisor is not None:
+                stop_reason = supervisor.on_access(self, state)
+                if stop_reason is not None:
+                    break
+            index = state.index
+            vaddr, is_write = trace[index]
+            if index == state.warmup_end:
                 self._reset_stats()
-                measure_start_ns = self.clock.now_ns
+                state.measure_start_ns = self.clock.now_ns
+            if injector is not None:
+                injector.tick(index, self.clock.now_ns)
             self.clock.advance(compute_ns)
             stall_ns = self._one_access(vaddr, is_write)
             self.clock.advance(stall_ns * config.mlp_stall_factor)
-            if index >= warmup_end:
-                measured_accesses += 1
+            if index >= state.warmup_end:
+                state.measured += 1
+            state.index += 1
 
-        return self._build_result(measured_accesses,
-                                  self.clock.now_ns - measure_start_ns)
+        result = self._build_result(state.measured,
+                                    self.clock.now_ns - state.measure_start_ns)
+        if stop_reason is not None:
+            result.truncated = True
+            result.error = stop_reason
+        else:
+            self._run_state = None  # finished: a fresh run() starts over
+        return result
 
     def _one_access(self, vaddr: int, is_write: bool) -> float:
         """Serve one trace record; returns the access's stall time (ns)."""
@@ -440,11 +502,11 @@ class Simulator:
                 self._fig5_after_tlb / self._fig5_cte_misses
                 if self._fig5_cte_misses else 0.0
             ),
-            l3_misses=stats.counter("l3_misses").value,
+            l3_misses=stats.count_of("l3_misses"),
             l3_data_misses=self._l3_data_misses,
             avg_l3_miss_latency_ns=controller.average_miss_latency_ns,
-            dram_reads=self.dram.stats.counter("reads").value,
-            dram_writes=self.dram.stats.counter("writes").value,
+            dram_reads=self.dram.stats.count_of("reads"),
+            dram_writes=self.dram.stats.count_of("writes"),
             row_hit_rate=self.dram.row_hit_rate,
             bandwidth_utilization=self.dram.bandwidth_utilization(
                 max(1.0, elapsed_ns)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ModelInvariantError
 from repro.mc.freelist import (
     ML1FreeList,
     ML2FreeLists,
@@ -126,8 +127,46 @@ def test_double_free_rejected():
     ml2 = ML2FreeLists()
     sub = ml2.alloc(512, ml1)
     ml2.free(sub, ml1)
-    with pytest.raises(ValueError):
+    with pytest.raises(ModelInvariantError):
         ml2.free(sub, ml1)
+
+
+def test_double_free_message_names_slot_class_and_address():
+    """The error pinpoints the duplicate free: slot, size class, and the
+    sub-chunk's DRAM address derived from the super-chunk's origin."""
+    ml1 = make_ml1()
+    ml2 = ML2FreeLists()
+    sub = ml2.alloc(512, ml1)
+    keeper = ml2.alloc(512, ml1)  # keeps the super-chunk from dismantling
+    assert keeper.superchunk is sub.superchunk
+    ml2.free(sub, ml1)
+    with pytest.raises(ModelInvariantError) as excinfo:
+        ml2.free(sub, ml1)
+    message = str(excinfo.value)
+    assert "double free" in message
+    assert f"slot {sub.slot}" in message
+    assert "size class 512 B" in message
+    origin = sub.superchunk.origin_chunk
+    assert f"chunk {origin}" in message
+    assert f"address {origin * 4096 + sub.slot * 512:#x}" in message
+
+
+def test_free_into_dismantled_superchunk_message():
+    """Freeing a sub-chunk whose super-chunk already drained back into
+    ML1 is a model invariant violation, named as such."""
+    ml1 = make_ml1(chunks=3)
+    ml2 = ML2FreeLists()
+    subs = [ml2.alloc(1536, ml1) for _ in range(8)]
+    for sub in subs:
+        ml2.free(sub, ml1)
+    assert ml1.count == 3  # dismantled
+    with pytest.raises(ModelInvariantError) as excinfo:
+        ml2.free(subs[3], ml1)
+    message = str(excinfo.value)
+    assert "dismantled" in message
+    assert f"slot {subs[3].slot}" in message
+    assert "size class 1536 B" in message
+    assert f"chunk {subs[3].superchunk.origin_chunk}" in message
 
 
 def test_class_for_selection():

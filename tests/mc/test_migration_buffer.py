@@ -1,0 +1,74 @@
+"""Edge cases of :meth:`repro.mc.migration.MigrationBuffer.reserve`.
+
+The happy path (stall when all eight entries are busy) is covered by the
+fault-injection tests; these pin the boundary behaviours the occupancy
+model's heap arithmetic has to get right.
+"""
+
+import pytest
+
+from repro.mc.migration import MigrationBuffer
+
+
+def test_zero_duration_grant_releases_immediately():
+    buf = MigrationBuffer(entries=2)
+    grant = buf.reserve(10.0, 0.0)
+    assert grant.stall_ns == 0.0
+    assert grant.start_ns == 10.0
+    assert grant.release_ns == 10.0
+    assert grant.duration_ns == 0.0
+    # A zero-length transfer frees the entry the instant it starts.
+    assert buf.occupancy(10.0) == 0
+
+
+def test_zero_duration_grants_never_accumulate_or_stall():
+    buf = MigrationBuffer(entries=1)
+    for _ in range(5):
+        assert buf.reserve(3.0, 0.0).stall_ns == 0.0
+    assert buf.stalls.value == 0
+    assert buf.occupancy(3.0) == 0
+
+
+def test_exact_release_time_reuse_is_not_a_stall():
+    """A request arriving exactly when the only entry releases starts
+    immediately; the boundary belongs to the new transfer."""
+    buf = MigrationBuffer(entries=1)
+    first = buf.reserve(0.0, 100.0)
+    assert first.release_ns == 100.0
+    grant = buf.reserve(100.0, 50.0)
+    assert grant.stall_ns == 0.0
+    assert grant.start_ns == 100.0
+    assert grant.release_ns == 150.0
+    assert buf.stalls.value == 0
+
+
+def test_simultaneous_release_stall_accounting():
+    """All entries release at the same instant: exactly one stall is
+    recorded for the waiter, and the burst arriving at the release time
+    proceeds without phantom stalls."""
+    buf = MigrationBuffer(entries=8)
+    for _ in range(8):
+        buf.reserve(0.0, 200.0)
+    assert buf.occupancy(199.0) == 8
+    # A ninth request mid-flight waits for the earliest (t=200) release.
+    waiter = buf.reserve(50.0, 10.0)
+    assert waiter.stall_ns == 150.0
+    assert waiter.start_ns == 200.0
+    assert buf.stalls.value == 1
+    assert buf.stall_ns.mean == 150.0
+    # At t=200 the remaining seven entries release together; a burst of
+    # seven new requests reuses them with no further stalls.
+    for _ in range(7):
+        assert buf.reserve(200.0, 10.0).stall_ns == 0.0
+    assert buf.stalls.value == 1
+
+
+def test_negative_duration_rejected():
+    buf = MigrationBuffer(entries=1)
+    with pytest.raises(ValueError):
+        buf.reserve(0.0, -1.0)
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ValueError):
+        MigrationBuffer(entries=0)

@@ -9,6 +9,7 @@ wrong data or wedging.
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.core.base import PATH_PARALLEL_MISMATCH, PATH_PARALLEL_OK
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
@@ -140,3 +141,170 @@ def test_incompressible_page_eviction_is_skipped_not_fatal():
     assert controller.stats.counter("incompressible_retained").value >= 0
     result = controller.serve_l3_miss(ppns[0], 0, 0.0)
     assert result.latency_ns > 0
+
+
+# ----------------------------------------------------------------------
+# Declarative fault plans (repro.sim.faults)
+# ----------------------------------------------------------------------
+
+def run_with_plan(spec_text, budget_fraction=None, accesses=6000,
+                  scale=0.12, seed=3):
+    """One deterministic TMCC run under a fault plan; returns the result
+    and the ``resilience.*`` metrics with the prefix stripped."""
+    from repro.sim.faults import FaultPlan
+    from repro.sim.simulator import Simulator
+    from repro.workloads.suite import workload_by_name
+
+    workload = workload_by_name("mcf", max_accesses=accesses, scale=scale)
+    budget = None
+    if budget_fraction is not None:
+        budget = int(workload.footprint_pages * 4096 * budget_fraction)
+    sim = Simulator(workload, controller="tmcc", seed=seed,
+                    dram_budget_bytes=budget,
+                    fault_plan=FaultPlan.parse(spec_text))
+    result = sim.run()
+    prefix = "resilience."
+    resilience = {key[len(prefix):]: value
+                  for key, value in result.metrics.items()
+                  if key.startswith(prefix)}
+    return result, resilience
+
+
+def test_fault_plan_parse_round_trip():
+    from repro.sim.faults import FaultPlan
+
+    plan = FaultPlan.parse("stale_cte:0.05, dram_read_error:0.02:3@100-500")
+    assert len(plan.specs) == 2
+    spec = plan.specs[1]
+    assert spec.kind == "dram_read_error"
+    assert spec.rate == 0.02 and spec.burst == 3
+    assert spec.start == 100 and spec.end == 500
+    assert spec.active(100) and spec.active(499)
+    assert not spec.active(99) and not spec.active(500)
+    assert FaultPlan.parse(plan.describe()) == plan
+
+
+def test_fault_plan_rejects_bad_specs():
+    from repro.sim.faults import FaultPlan
+
+    for text in ("bogus:0.1", "stale_cte:2.0", "stale_cte:0",
+                 "stale_cte:0.1:0", "stale_cte@9-3", "stale_cte@x-y",
+                 "stale_cte:0.1:2:9", ""):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(text)
+
+
+def test_injected_stale_cte_takes_mismatch_path_then_repairs(model):
+    """The injection hook plants a stale embedded CTE; the next access
+    must take the verify-mismatch replay path, repair the entry, and
+    serve the one after that speculatively again."""
+
+    class PickFirst:
+        def choice(self, candidates):
+            return candidates[0]
+
+    controller, ppns = build(model)
+    harvest(controller, ppns[:8])
+    ppn = controller.inject_stale_cte(PickFirst())
+    assert ppn is not None
+    mismatch = controller.serve_l3_miss(ppn, 0, 0.0)
+    assert mismatch.path == PATH_PARALLEL_MISMATCH
+    assert controller.resilience.stats.counter("cte_repairs").value == 1
+    controller.cte_cache.flush()
+    repaired = controller.serve_l3_miss(ppn, 0, 100.0)
+    assert repaired.path == PATH_PARALLEL_OK
+
+
+def test_stale_cte_fault_forces_verify_and_repair():
+    """Acceptance: injected stale embedded CTEs are caught by the verify
+    fetch (mismatch replay) and repaired, never served wrong."""
+    result, resilience = run_with_plan("stale_cte:0.05",
+                                       budget_fraction=0.7)
+    assert resilience["faults.stale_cte"] > 0
+    assert resilience["cte_repairs"] > 0
+    assert not result.truncated
+
+
+def test_ml2_exhaustion_degrades_gracefully_with_emergency_evictions():
+    """Acceptance: stealing every free ML1 chunk mid-run completes
+    without raising and reports the emergency-eviction response."""
+    result, resilience = run_with_plan("ml2_exhaustion:0.1",
+                                       budget_fraction=0.6)
+    assert resilience["faults.ml2_exhaustion"] > 0
+    assert resilience["chunks_stolen"] > 0
+    assert resilience["emergency_evictions"] > 0
+    assert resilience["overflow_uncompressed"] > 0
+    assert not result.truncated
+    assert result.accesses > 0
+
+
+def test_dram_read_error_retries_are_bounded():
+    _, small = run_with_plan("dram_read_error:0.02:2")
+    assert small["dram_retries"] > 0
+    assert "dram_retry_exhausted" not in small  # burst 2 < retry cap
+    _, big = run_with_plan("dram_read_error:0.02:8")
+    assert big["dram_retry_exhausted"] > 0  # burst 8 > retry cap
+
+
+def test_incompressible_burst_overflows_to_uncompressed():
+    """Burst-incompressible victims are retained uncompressed; the
+    exhaustion spec supplies the capacity pressure that makes the
+    eviction pump actually visit them."""
+    _, resilience = run_with_plan(
+        "incompressible_burst:0.05:8,ml2_exhaustion:0.05",
+        budget_fraction=0.7)
+    assert resilience["faults.incompressible_burst"] > 0
+    assert resilience["incompressible_forced"] > 0
+    assert resilience["overflow_uncompressed"] > 0
+
+
+def test_migration_saturation_and_cache_invalidation_land():
+    _, resilience = run_with_plan(
+        "migration_saturation:0.02:4,cte_cache_invalidate:0.02",
+        budget_fraction=0.7)
+    assert resilience["faults.migration_saturation"] > 0
+    assert resilience["faults.cte_cache_invalidate"] > 0
+
+
+def test_fault_injection_is_deterministic():
+    spec = "stale_cte:0.03,dram_read_error:0.02:2,ml2_exhaustion:0.05"
+    first = run_with_plan(spec, budget_fraction=0.6)
+    second = run_with_plan(spec, budget_fraction=0.6)
+    assert first[0].as_dict() == second[0].as_dict()
+    assert first[1] == second[1]
+
+
+def test_dormant_fault_plan_is_bit_identical_to_baseline():
+    """A plan whose window never opens must not perturb the run: the
+    latency stream stays bit-identical to a plain simulation."""
+    from repro.sim.simulator import Simulator
+    from repro.workloads.suite import workload_by_name
+
+    workload = workload_by_name("mcf", max_accesses=6000, scale=0.12)
+    baseline = Simulator(workload, controller="tmcc", seed=3).run()
+    dormant, resilience = run_with_plan("stale_cte:0.5@1000000-1000001")
+    assert resilience.get("faults_injected", 0) == 0
+    base_dict = baseline.as_dict()
+    dormant_dict = dormant.as_dict()
+    base_dict.pop("metrics")
+    dormant_dict.pop("metrics")
+    assert repr(dormant_dict) == repr(base_dict)
+
+
+def test_every_fault_kind_smokes_on_every_controller():
+    """CI's smoke matrix in miniature: each fault kind on each registered
+    controller, short runs, no exceptions allowed."""
+    from repro.core import available_controllers
+    from repro.sim.faults import plans_for_smoke
+    from repro.sim.simulator import Simulator
+    from repro.workloads.suite import workload_by_name
+
+    for controller in available_controllers():
+        for plan in plans_for_smoke(rate=0.05):
+            workload = workload_by_name("omnetpp", max_accesses=2000,
+                                        scale=0.05)
+            sim = Simulator(workload, controller=controller, seed=2,
+                            fault_plan=plan)
+            result = sim.run()
+            assert result.accesses > 0
+            assert not result.truncated

@@ -138,3 +138,124 @@ def test_trace_run_controller_list(capsys):
 def test_trace_run_requires_path(capsys):
     assert main(["trace", "run", "--controller", "tmcc"]) == 2
     assert "trace path is required" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Argument validation (one-line errors, exit code 2)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("argv, needle", [
+    (["run", "mcf", "--accesses", "0"], "--accesses must be > 0"),
+    (["run", "mcf", "--accesses", "-5"], "--accesses must be > 0"),
+    (["run", "mcf", "--scale", "0"], "--scale must be in (0, 1]"),
+    (["run", "mcf", "--scale", "1.5"], "--scale must be in (0, 1]"),
+    (["run", "mcf", "--cores", "0"], "--cores must be >= 1"),
+    (["run", "mcf", "--checkpoint-every", "-1"],
+     "--checkpoint-every must be >= 0"),
+    (["run", "mcf", "--checkpoint-every", "10"],
+     "--checkpoint-every needs --checkpoint"),
+    (["run", "mcf", "--wall-clock-limit", "0"],
+     "--wall-clock-limit must be > 0"),
+    (["sweep", "mcf", "--points", "-1"], "--points must be > 0"),
+    (["sweep", "mcf", "--accesses", "0"], "--accesses must be > 0"),
+    (["compare", "mcf", "--scale", "2"], "--scale must be in (0, 1]"),
+    (["trace", "export", "mcf", "/tmp/t.rtrc", "--accesses", "0"],
+     "--accesses must be > 0"),
+    (["deflate", "graph", "--pages", "0"], "--pages must be > 0"),
+])
+def test_validation_one_line_errors(capsys, argv, needle):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert needle in err
+    assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_run_validation_failure_still_emits_json(capsys):
+    assert main(["run", "mcf", "--accesses", "0", "--emit-json"]) == 2
+    record = json.loads(capsys.readouterr().out)
+    assert record["error_kind"] == "config"
+    assert "--accesses" in record["error"]
+    assert record["metrics"] == {}
+
+
+def test_run_mid_run_failure_emits_json_with_metrics(tmp_path, capsys):
+    """A checkpoint write to an unwritable path fails mid-run; the JSON
+    error document still carries every metric collected so far."""
+    missing_dir = tmp_path / "nope" / "ck.pkl"
+    code = main(["run", "mcf", "--accesses", "6000", "--scale", "0.12",
+                 "--checkpoint", str(missing_dir),
+                 "--checkpoint-every", "300", "--emit-json"])
+    assert code == 1
+    captured = capsys.readouterr()
+    record = json.loads(captured.out)
+    assert record["error_kind"] == "resource"
+    assert "checkpoint" in record["error"]
+    assert record["metrics"].get("tlb.total", 0) > 0
+    assert "error (resource)" in captured.err
+
+
+def test_run_rejects_bad_fault_spec(capsys):
+    assert main(["run", "mcf", "--faults", "hal9000:0.1"]) == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Fault injection and supervised runs through the CLI
+# ----------------------------------------------------------------------
+
+RUN_SMALL = ["run", "mcf", "--accesses", "6000", "--scale", "0.12",
+             "--seed", "3"]
+
+
+def test_run_with_faults_reports_resilience_metrics(capsys):
+    assert main(RUN_SMALL + ["--faults", "dram_read_error:0.02:2",
+                             "--emit-json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["metrics"]["resilience.faults_injected"] > 0
+    assert record["metrics"]["resilience.dram_retries"] > 0
+    assert "resilience" in record["metrics_tree"]
+
+
+def test_run_checkpoint_resume_matches_uninterrupted(tmp_path, capsys):
+    assert main(RUN_SMALL) == 0
+    baseline = capsys.readouterr().out
+    path = str(tmp_path / "ck.pkl")
+    assert main(RUN_SMALL + ["--checkpoint", path,
+                             "--checkpoint-every", "300"]) == 0
+    assert capsys.readouterr().out == baseline
+    assert main(["run", "--resume", path]) == 0
+    assert capsys.readouterr().out == baseline
+
+
+def test_run_wall_clock_truncation_exits_3_then_resumes(tmp_path, capsys):
+    assert main(RUN_SMALL) == 0
+    baseline = capsys.readouterr().out
+    path = str(tmp_path / "ck.pkl")
+    code = main(RUN_SMALL + ["--checkpoint", path, "--emit-json",
+                             "--wall-clock-limit", "1e-9"])
+    assert code == 3
+    captured = capsys.readouterr()
+    record = json.loads(captured.out)
+    assert record["truncated"] is True
+    assert "wall-clock limit" in record["error"]
+    assert "run truncated" in captured.err
+    assert main(["run", "--resume", path]) == 0
+    assert capsys.readouterr().out == baseline
+
+
+def test_run_resume_rejects_garbage_checkpoint(tmp_path, capsys):
+    path = tmp_path / "bogus.pkl"
+    path.write_text("not a checkpoint")
+    assert main(["run", "--resume", str(path)]) == 2
+    assert "not a repro checkpoint" in capsys.readouterr().err
+
+
+def test_run_resume_missing_checkpoint_is_resource_error(tmp_path, capsys):
+    assert main(["run", "--resume", str(tmp_path / "missing.pkl")]) == 1
+    assert "error (resource)" in capsys.readouterr().err
+
+
+def test_run_rejects_faults_with_resume(tmp_path, capsys):
+    assert main(["run", "--resume", str(tmp_path / "x.pkl"),
+                 "--faults", "stale_cte"]) == 2
+    assert "cannot be combined" in capsys.readouterr().err

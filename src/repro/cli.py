@@ -1,16 +1,22 @@
 """Command-line interface.
 
-Five subcommands cover the library's main entry points:
+The subcommands cover the library's main entry points:
 
 - ``workloads`` -- list the paper's workloads (``--json`` for machines).
 - ``deflate``   -- compress synthetic pages of one content profile and
   report size/latency under our ASIC vs block-level vs IBM's ASIC.
 - ``run``       -- simulate one workload under one controller, with the
-  structured-instrumentation surface (``--emit-json`` for the namespaced
-  metric tree, ``--trace-events`` for a JSONL event stream).
+  observability surface: ``--emit-json`` for the namespaced metric tree,
+  ``--trace-events`` for a raw JSONL event stream, ``--trace-sample`` /
+  ``--trace-out`` for causal span traces (Perfetto-loadable),
+  ``--interval-ns`` / ``--interval-out`` for windowed metric
+  time-series, and ``--profile`` for host self-time.
 - ``compare``   -- the headline experiment: TMCC vs Compresso at equal
   DRAM usage for one workload.
 - ``sweep``     -- TMCC's performance/capacity trade-off curve.
+- ``report``    -- render one ``--emit-json`` document as a
+  markdown/HTML run report, or diff two with ``--compare A B``.
+- ``trace convert`` -- translate span traces between JSONL and Perfetto.
 
 Controllers come from :data:`repro.core.CONTROLLER_REGISTRY`; pass
 ``--controller list`` to ``run`` (or ``trace run``) to enumerate them.
@@ -20,6 +26,10 @@ Examples::
     python -m repro.cli workloads --json
     python -m repro.cli deflate graph
     python -m repro.cli run mcf --controller tmcc --emit-json
+    python -m repro.cli run mcf --trace-sample 64 --trace-out t.json \\
+        --interval-ns 1000000 --interval-out windows.csv
+    python -m repro.cli report result.json --trace t.json
+    python -m repro.cli report --compare a.json b.json
     python -m repro.cli compare canneal --accesses 40000 --scale 0.4
     python -m repro.cli sweep mcf --points 4
 """
@@ -180,6 +190,16 @@ def _run_failure(args: argparse.Namespace, error: BaseException,
     kind = classify_error(error)
     message = str(error) or type(error).__name__
     print(f"error ({kind}): {message}", file=sys.stderr)
+    if sim is not None:
+        # Best effort: a failed run still leaves its sampled spans and
+        # windowed rows behind for post-mortem analysis.
+        try:
+            timeseries = getattr(sim, "timeseries", None)
+            if timeseries is not None:
+                timeseries.finish(sim.clock.now_ns)
+            _write_observability_outputs(args, sim, quiet=True)
+        except Exception:
+            pass
     if getattr(args, "emit_json", False):
         metrics = {}
         if sim is not None:
@@ -192,8 +212,37 @@ def _run_failure(args: argparse.Namespace, error: BaseException,
     return 2 if kind == ERROR_KIND_CONFIG else 1
 
 
+def _validate_observability_args(args: argparse.Namespace) -> Optional[str]:
+    """Validation for the opt-in tracing/time-series/profiling flags."""
+    if args.trace_sample is not None:
+        if args.trace_sample < 1:
+            return f"--trace-sample must be >= 1, got {args.trace_sample}"
+        if not args.trace_out:
+            return "--trace-sample needs --trace-out PATH"
+    if args.trace_buffer < 2:
+        return f"--trace-buffer must be >= 2 spans, got {args.trace_buffer}"
+    if args.interval_ns is not None and args.interval_ns <= 0:
+        return f"--interval-ns must be > 0, got {args.interval_ns}"
+    if args.interval_ns is not None and not args.interval_out:
+        return "--interval-ns needs --interval-out PATH"
+    if args.interval_out and args.interval_ns is None:
+        return "--interval-out needs --interval-ns NS"
+    observability = (args.trace_out or args.interval_ns is not None
+                     or args.profile)
+    if observability and args.cores > 1:
+        return ("--trace-out/--interval-ns/--profile only support "
+                "single-core runs")
+    if args.profile and args.resume is not None:
+        return ("--profile cannot be combined with --resume; profiling "
+                "hooks are wired at construction time")
+    return None
+
+
 def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
     issue = _validate_args(args)
+    if issue is not None:
+        return issue
+    issue = _validate_observability_args(args)
     if issue is not None:
         return issue
     if args.resume is not None:
@@ -215,43 +264,102 @@ def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _write_observability_outputs(args: argparse.Namespace, sim,
+                                 quiet: bool) -> None:
+    """Write --trace-out / --interval-out files from whatever the run
+    collected.  Called after normal, truncated, *and* failed runs, so a
+    watchdog-killed simulation still leaves its sampled spans behind."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None and args.trace_out:
+        from repro.sim.tracing import write_trace_file
+
+        write_trace_file(
+            tracer.spans(), args.trace_out,
+            metadata={"workload": sim.workload.name,
+                      "controller": sim.controller_name,
+                      **tracer.summary()},
+        )
+        if not quiet:
+            summary = tracer.summary()
+            print(f"trace: {summary['traces_retained']} traces "
+                  f"({summary['spans_retained']} spans, "
+                  f"{summary['traces_dropped']} dropped) "
+                  f"written to {args.trace_out}")
+    timeseries = getattr(sim, "timeseries", None)
+    if timeseries is not None and args.interval_out:
+        from repro.sim.timeseries import write_timeseries_file
+
+        write_timeseries_file(timeseries.rows, args.interval_out,
+                              columns=timeseries.columns())
+        if not quiet:
+            print(f"time series: {len(timeseries.rows)} windows "
+                  f"written to {args.interval_out}")
+
+
 def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
     """The body of ``repro run``; raises into :func:`_run_failure`."""
     from repro.sim.faults import FaultPlan
-    from repro.sim.supervisor import ConfigError, RunSupervisor, load_checkpoint
+    from repro.sim.supervisor import RunSupervisor, load_checkpoint
+    from repro.sim.tracing import SpanTracer, TraceEventWriter
 
     plan = FaultPlan.parse(args.faults) if args.faults else None
 
-    trace_file = None
+    event_writer = None
     if args.trace_events:  # fail fast, before the expensive trace build
-        try:
-            trace_file = open(args.trace_events, "w")
-        except OSError as error:
-            raise ConfigError(
-                f"cannot write trace events to {args.trace_events!r}: "
-                f"{error}") from error
+        event_writer = TraceEventWriter(args.trace_events)
 
-    if args.resume is not None:
-        if args.workload is not None:
-            print(f"note: resuming from {args.resume}; "
-                  f"workload argument ignored", file=sys.stderr)
-        sim = load_checkpoint(args.resume)
-        controller_name = sim.controller_name
-    else:
-        from repro.sim.multicore import MultiCoreSimulator
-        from repro.sim.simulator import Simulator
-
-        workload = workload_by_name(args.workload, max_accesses=args.accesses,
-                                    scale=args.scale)
-        controller_name = args.controller
-        if args.cores > 1:
-            sim = MultiCoreSimulator(workload, num_cores=args.cores,
-                                     controller=args.controller,
-                                     seed=args.seed)
+    try:
+        if args.resume is not None:
+            if args.workload is not None:
+                print(f"note: resuming from {args.resume}; "
+                      f"workload argument ignored", file=sys.stderr)
+            sim = load_checkpoint(args.resume)
+            controller_name = sim.controller_name
         else:
-            sim = Simulator(workload, controller=args.controller,
-                            seed=args.seed, fault_plan=plan)
+            from repro.sim.multicore import MultiCoreSimulator
+            from repro.sim.simulator import Simulator
+
+            workload = workload_by_name(args.workload,
+                                        max_accesses=args.accesses,
+                                        scale=args.scale)
+            controller_name = args.controller
+            if args.cores > 1:
+                sim = MultiCoreSimulator(workload, num_cores=args.cores,
+                                         controller=args.controller,
+                                         seed=args.seed)
+            else:
+                context = None
+                if args.profile:
+                    # Probes capture the profiler at construction, so it
+                    # must be armed on the context *before* the build.
+                    from repro.sim.context import SimContext
+
+                    context = SimContext(seed=args.seed)
+                    context.enable_profiling()
+                sim = Simulator(workload, controller=args.controller,
+                                seed=args.seed, fault_plan=plan,
+                                context=context)
+    except BaseException:
+        if event_writer is not None:
+            event_writer.close()
+        raise
     holder["sim"] = sim
+
+    if event_writer is not None:
+        # The simulator's run() teardown closes owned writers (close is
+        # idempotent, so the failure path's close below is harmless).
+        event_writer.attach(sim.context.bus)
+        sim.context.own(event_writer)
+
+    if args.trace_out:
+        tracer = SpanTracer(sample_every=args.trace_sample or 1,
+                            buffer_spans=args.trace_buffer)
+        sim.attach_tracer(tracer)
+    if args.interval_ns is not None:
+        from repro.sim.timeseries import TimeSeriesRecorder
+
+        sim.attach_timeseries(
+            TimeSeriesRecorder(sim.context.metrics, args.interval_ns))
 
     supervisor = None
     if args.checkpoint or args.wall_clock_limit:
@@ -261,25 +369,24 @@ def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
             wall_clock_limit_s=args.wall_clock_limit,
         )
 
-    if trace_file is not None:
-        sim.context.bus.subscribe_all(
-            lambda event: trace_file.write(
-                json.dumps(event.as_dict(), sort_keys=True) + "\n"))
     try:
         if supervisor is not None:
             result = supervisor.run(sim)
         else:
             result = sim.run()
     finally:
-        if trace_file is not None:
-            sim.context.bus.unsubscribe_all()
-            trace_file.close()
+        if event_writer is not None:
+            event_writer.close()
+
+    _write_observability_outputs(args, sim, quiet=args.emit_json)
 
     if args.emit_json:
         from repro.sim.instrument import nest_metrics
 
         record = result.as_dict()
         record["metrics_tree"] = nest_metrics(result.metrics)
+        if hasattr(sim, "describe_run"):
+            record["run_config"] = sim.describe_run()
         print(json.dumps(record, indent=2, sort_keys=True))
     else:
         print(f"{sim.workload.name} / {controller_name}: "
@@ -290,6 +397,8 @@ def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
               f"capacity {result.compression_ratio:.2f}x")
         if args.breakdown:
             _print_breakdown(sim.controller.stage_accounting)
+        if args.profile:
+            _print_profile(sim.context.profiler)
         if args.trace_events:
             print(f"trace events written to {args.trace_events}")
     if result.truncated:
@@ -299,6 +408,22 @@ def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
                   file=sys.stderr)
         return 3
     return 0
+
+
+def _print_profile(profiler) -> None:
+    """Render the --profile host self-time table, hottest first."""
+    if profiler is None:
+        return
+    rows = profiler.report_rows()
+    if not rows:
+        print("no profiled sections (run too short?)")
+        return
+    header = f"{'section':<28} {'calls':>10} {'total_ms':>10} {'self_ms':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['section']:<28} {row['calls']:>10} "
+              f"{row['total_ms']:>10.2f} {row['self_ms']:>10.2f}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -376,7 +501,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigError
+    from repro.reporting import (
+        build_run_report,
+        compare_runs,
+        load_run_document,
+        render_comparison,
+    )
+
+    try:
+        if args.compare:
+            path_a, path_b = args.compare
+            comparison = compare_runs(
+                load_run_document(path_a), load_run_document(path_b),
+                label_a=path_a, label_b=path_b,
+            )
+            text = render_comparison(comparison)
+            if args.out:
+                from pathlib import Path
+
+                Path(args.out).write_text(text)
+                print(f"comparison written to {args.out}")
+            else:
+                print(text, end="")
+            return 0
+        if not args.result:
+            raise ConfigError(
+                "a run document is required unless --compare A B")
+        record = load_run_document(args.result)
+        spans = None
+        if args.trace:
+            from repro.sim.tracing import load_spans
+
+            spans = load_spans(args.trace)
+        rows = None
+        if args.timeseries:
+            from repro.sim.timeseries import read_rows
+
+            rows = read_rows(args.timeseries)
+        report = build_run_report(record, spans=spans, timeseries_rows=rows,
+                                  top_k=args.top_k)
+        if args.out:
+            html = args.html or args.out.endswith(".html")
+            report.write(args.out, html=html)
+            print(f"report written to {args.out}")
+        elif args.html:
+            print(report.to_html())
+        else:
+            print(report.to_markdown())
+        return 0
+    except ConfigError as error:
+        print(f"error (config): {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "convert":
+        from repro.common.errors import ConfigError
+        from repro.sim.tracing import convert_trace
+
+        try:
+            count = convert_trace(args.src, args.dst)
+        except ConfigError as error:
+            print(f"error (config): {error}", file=sys.stderr)
+            return 2
+        print(f"converted {count} spans: {args.src} -> {args.dst}")
+        return 0
+
     from repro.workloads.traceio import save_trace, workload_from_trace
 
     if args.trace_command == "export":
@@ -444,6 +636,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "(on failure: an error document)")
     run.add_argument("--trace-events", metavar="PATH",
                      help="write instrumentation events as JSONL")
+    run.add_argument("--trace-sample", type=int, metavar="N",
+                     help="span-trace every Nth access (needs --trace-out)")
+    run.add_argument("--trace-buffer", type=int, default=4096, metavar="SPANS",
+                     help="max retained spans, head/tail split "
+                          "(default: 4096)")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write sampled span traces: .jsonl for span "
+                          "lines, anything else for Perfetto/Chrome "
+                          "trace JSON (implies --trace-sample 1)")
+    run.add_argument("--interval-ns", type=float, metavar="NS",
+                     help="record windowed metric deltas every NS of "
+                          "simulated time (needs --interval-out)")
+    run.add_argument("--interval-out", metavar="PATH",
+                     help="write the time series: .csv or JSONL by "
+                          "extension")
+    run.add_argument("--profile", action="store_true",
+                     help="measure host wall-clock self-time per section "
+                          "(adds profile.* metrics; non-deterministic)")
     run.add_argument("--faults", metavar="SPEC",
                      help="inject deterministic faults: comma-separated "
                           "kind[:rate[:burst]][@start-end] "
@@ -483,6 +693,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run.add_argument("path", nargs="?",
                            help="trace file (omit with --controller list)")
     trace_run.add_argument("--controller", default="tmcc")
+    convert = trace_sub.add_parser(
+        "convert", help="convert a span trace between JSONL and Perfetto")
+    convert.add_argument("src", help="input trace (format sniffed)")
+    convert.add_argument("dst",
+                         help="output path (.jsonl for span lines, "
+                              "anything else for Perfetto JSON)")
+
+    report = commands.add_parser(
+        "report", help="render a run report / compare two runs")
+    report.add_argument("result", nargs="?",
+                        help="a `repro run --emit-json` document")
+    report.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                        help="diff two --emit-json documents instead")
+    report.add_argument("--out", metavar="PATH",
+                        help="write the report here instead of stdout")
+    report.add_argument("--html", action="store_true",
+                        help="render HTML instead of markdown")
+    report.add_argument("--trace", metavar="PATH",
+                        help="a --trace-out file: adds the slowest-spans "
+                             "section")
+    report.add_argument("--timeseries", metavar="PATH",
+                        help="an --interval-out file: adds sparklines")
+    report.add_argument("--top-k", type=int, default=10,
+                        help="slowest spans to list (default: 10)")
 
     return parser
 
@@ -496,6 +730,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     if args.command != "run":  # run validates inside (for --emit-json)
         issue = _validate_args(args)

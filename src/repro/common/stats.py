@@ -110,11 +110,17 @@ class Histogram:
         return mean(self.samples)
 
     def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile with ``fraction`` in [0, 1]."""
-        if not self.samples:
-            return 0.0
+        """Nearest-rank percentile with ``fraction`` in [0, 1].
+
+        An empty histogram reports 0.0 for any valid fraction; a single
+        sample is every percentile of itself.  An out-of-range fraction
+        raises even when empty -- a bad fraction is a caller bug, not a
+        property of the data.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.samples:
+            return 0.0
         ordered = sorted(self.samples)
         rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
         return ordered[rank]

@@ -111,6 +111,20 @@ class MemoryController:
         """
         self._probe = probe
 
+    def _timed(self, section: str):
+        """Host-profiling guard: ``with self._timed("serve_miss"): ...``.
+
+        Free unless a probe with an armed profiler is attached (the
+        shared no-op timer is returned otherwise), so the hot path pays
+        nothing on default runs.
+        """
+        probe = self._probe
+        if probe is None:
+            from repro.sim.profile import NULL_TIMER
+
+            return NULL_TIMER
+        return probe.timed(section)
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -180,11 +194,14 @@ class MemoryController:
     def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
                       is_write: bool = False) -> MissResult:
         """Serve an LLC miss for block ``block_index`` of page ``ppn``."""
-        timeline = evaluate(self._data_fetch_stage(ppn, block_index), now_ns)
-        self.stats.counter("l3_misses").increment()
-        self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
-        self._record_stages(timeline, PATH_CTE_HIT)
-        return MissResult(timeline.total_ns, PATH_CTE_HIT, timeline=timeline)
+        with self._timed("serve_miss"):
+            timeline = evaluate(self._data_fetch_stage(ppn, block_index),
+                                now_ns)
+            self.stats.counter("l3_misses").increment()
+            self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
+            self._record_stages(timeline, PATH_CTE_HIT)
+            return MissResult(timeline.total_ns, PATH_CTE_HIT,
+                              timeline=timeline)
 
     def _data_fetch_stage(self, ppn: int, block_index: int) -> Stage:
         """The plain one-DRAM-read data stage every controller shares."""
@@ -207,6 +224,20 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """The controller's configuration, for run reports.
+
+        Flat, JSON-friendly, and deterministic: ``repro report`` renders
+        it as the configuration section, and ``--emit-json`` documents
+        carry it under ``run_config.controller``.  Subclasses extend the
+        base dict with their own structures (CTE caches, ML1/ML2 split,
+        CTE buffer).
+        """
+        return {
+            "name": self.name,
+            "pages": len(self._dram_page),
+        }
 
     def dram_used_bytes(self) -> int:
         """DRAM consumed by data + translation metadata."""

@@ -138,27 +138,29 @@ class CompressoController(MemoryController):
 
     def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
                       is_write: bool = False) -> MissResult:
-        self.stats.counter("l3_misses").increment()
-        cache_hit = self.cte_cache.lookup(ppn)
-        # On a CTE-cache miss the metadata fetch (possibly via the LLC
-        # victim path) strictly precedes the data fetch -- the Figure 8a
-        # serialization TMCC exists to remove.
-        pipeline = cond(
-            cache_hit,
-            self._data_fetch_stage(ppn, block_index),
-            serial(
-                Stage(STAGE_CTE_FETCH,
-                      lambda start_ns: self._fetch_cte_serial_ns(ppn, start_ns)),
+        with self._timed("serve_miss"):
+            self.stats.counter("l3_misses").increment()
+            cache_hit = self.cte_cache.lookup(ppn)
+            # On a CTE-cache miss the metadata fetch (possibly via the LLC
+            # victim path) strictly precedes the data fetch -- the Figure
+            # 8a serialization TMCC exists to remove.
+            pipeline = cond(
+                cache_hit,
                 self._data_fetch_stage(ppn, block_index),
-            ),
-        )
-        timeline = evaluate(pipeline, now_ns)
-        if cache_hit:
-            path = PATH_CTE_HIT
-        else:
-            self._fill_cte_cache(ppn)
-            path = PATH_SERIAL_NO_CTE
-        return self._finish_miss(timeline, path, False, now_ns, ppn)
+                serial(
+                    Stage(STAGE_CTE_FETCH,
+                          lambda start_ns: self._fetch_cte_serial_ns(
+                              ppn, start_ns)),
+                    self._data_fetch_stage(ppn, block_index),
+                ),
+            )
+            timeline = evaluate(pipeline, now_ns)
+            if cache_hit:
+                path = PATH_CTE_HIT
+            else:
+                self._fill_cte_cache(ppn)
+                path = PATH_SERIAL_NO_CTE
+            return self._finish_miss(timeline, path, False, now_ns, ppn)
 
     def _fetch_cte_serial_ns(self, ppn: int, now_ns: float) -> float:
         """Serial CTE fetch, optionally probing the LLC victim copy."""
@@ -221,6 +223,18 @@ class CompressoController(MemoryController):
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary.update({
+            "cte_cache_bytes": self.cte_cache.size_bytes,
+            "cte_size_bytes": CTE_SIZE_BLOCKLEVEL,
+            "chunk_bytes": CHUNK_BYTES,
+            "chunks_allocated": self._next_chunk,
+            "chunks_free": len(self._chunk_free),
+            "cte_victim_in_llc": self.cte_victim_in_llc,
+        })
+        return summary
 
     def dram_used_bytes(self) -> int:
         """Chunks in use + the 64 B-per-page CTE table (6.25% overhead)."""

@@ -9,6 +9,8 @@ optimizations against this design.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.base import register_controller
 from repro.core.compmodel import PageRecord
 from repro.core.twolevel import TwoLevelController
@@ -19,6 +21,11 @@ class OSInspiredController(TwoLevelController):
     """Two-level memory, serial translation, IBM-speed Deflate."""
 
     name = "osinspired"
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["ml2_engine"] = "ibm"
+        return summary
 
     def _decompress_half_ns(self, record: PageRecord) -> float:
         return record.ibm_decompress_half_ns
@@ -40,3 +47,8 @@ class OSInspiredFastDeflateController(TwoLevelController):
     """
 
     name = "osinspired_fastml2"
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["ml2_engine"] = "asic"
+        return summary

@@ -217,6 +217,16 @@ class TMCCController(TwoLevelController):
     # Reporting
     # ------------------------------------------------------------------
 
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary.update({
+            "cte_buffer_entries": CTE_BUFFER_ENTRIES,
+            "cte_buffer_occupancy": len(self._cte_buffer),
+            "ptb_shadows": len(self._ptb_shadow),
+            "embedded_coverage": self.embedded_coverage,
+        })
+        return summary
+
     @property
     def embedded_coverage(self) -> float:
         """Fraction of CTE-cache misses served via embedded CTEs."""

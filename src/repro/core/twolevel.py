@@ -208,6 +208,11 @@ class TwoLevelController(MemoryController):
 
     def serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
                       is_write: bool = False) -> MissResult:
+        with self._timed("serve_miss"):
+            return self._serve_l3_miss(ppn, block_index, now_ns, is_write)
+
+    def _serve_l3_miss(self, ppn: int, block_index: int, now_ns: float,
+                       is_write: bool) -> MissResult:
         self.stats.counter("l3_misses").increment()
         cte = self._cte.get(ppn)
         if cte is None:  # page unknown to the controller (e.g. I/O space)
@@ -465,6 +470,19 @@ class TwoLevelController(MemoryController):
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary.update({
+            "ml1_pages": self.ml1_page_count,
+            "ml2_pages": self.ml2_page_count,
+            "budget_chunks": self._budget_chunks,
+            "ml1_free_chunks": self.ml1_free.count,
+            "cte_cache_bytes": self.cte_cache.size_bytes,
+            "ml1_low_watermark": self.config.ml1_low_watermark,
+            "ml1_critical_watermark": self.config.ml1_critical_watermark,
+        })
+        return summary
 
     def dram_used_bytes(self) -> int:
         """Chunks in use (ML1 pages + ML2 super-chunks) + metadata."""

@@ -8,6 +8,8 @@ DRAM) and the denominator for effective-capacity claims.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.base import MemoryController, register_controller
 
 
@@ -16,3 +18,8 @@ class UncompressedController(MemoryController):
     """The base class already implements identity placement."""
 
     name = "uncompressed"
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["compression"] = "none"
+        return summary

@@ -66,6 +66,13 @@ class SimContext:
         self.bus = EventBus()
         self.metrics = MetricsRegistry()
         self._components: Dict[str, object] = {}
+        #: Host-side wall-clock profiler; None (the default) keeps every
+        #: profiling guard a single attribute check.
+        self.profiler = None
+        #: Closable resources (trace writers) whose lifetime is tied to
+        #: the simulation: the simulator's teardown closes them even
+        #: when a run dies early.  See :meth:`own` / :meth:`close_owned`.
+        self._owned: List[object] = []
 
     # ------------------------------------------------------------------
     # RNG streams
@@ -155,9 +162,60 @@ class SimContext:
 
     def probe(self, namespace: str,
               stats: Optional[StatGroup] = None) -> Probe:
-        """A :class:`Probe` bound to this context's event bus."""
-        return Probe(namespace, bus=self.bus, stats=stats)
+        """A :class:`Probe` bound to this context's bus (and profiler)."""
+        return Probe(namespace, bus=self.bus, stats=stats,
+                     profiler=self.profiler)
+
+    def enable_profiling(self) -> "object":
+        """Arm host-side wall-clock profiling (``profile.*`` metrics).
+
+        Idempotent; returns the profiler.  Only opt-in callers reach
+        this -- attaching the ``profile`` namespace changes metric dumps,
+        which is exactly why no-flag runs never do.
+        """
+        if self.profiler is None:
+            from repro.sim.profile import HostProfiler
+
+            self.profiler = HostProfiler()
+            self.metrics.attach("profile", self.profiler)
+        return self.profiler
 
     def reset_metrics(self) -> None:
         """Warm-up boundary: zero statistics, keep all simulation state."""
         self.metrics.reset()
+
+    # ------------------------------------------------------------------
+    # Owned resources (simulator-teardown lifetime)
+    # ------------------------------------------------------------------
+
+    def own(self, resource: object) -> object:
+        """Tie a closable resource's lifetime to the simulation.
+
+        ``close_owned`` runs in the simulator's ``run()`` teardown (and
+        again from CLI cleanup -- closing must be idempotent), so event
+        writers are flushed and closed even when a run exits early via
+        the watchdog or a fault-path failure.
+        """
+        self._owned.append(resource)
+        return resource
+
+    def close_owned(self) -> None:
+        while self._owned:
+            resource = self._owned.pop()
+            close = getattr(resource, "close", None)
+            if close is not None:
+                close()
+
+    def detach_owned(self) -> List[object]:
+        """Remove (and return) owned resources around a checkpoint dump.
+
+        Open file handles cannot pickle; the run supervisor detaches
+        them like bus subscribers and restores with
+        :meth:`restore_owned`.
+        """
+        saved = self._owned
+        self._owned = []
+        return saved
+
+    def restore_owned(self, saved: List[object]) -> None:
+        self._owned = saved

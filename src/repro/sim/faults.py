@@ -168,10 +168,13 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, rng: DeterministicRNG,
-                 controller) -> None:
+                 controller, bus=None) -> None:
         self.plan = plan
         self.rng = rng
         self.controller = controller
+        #: Optional event bus: landed faults publish ``faults.injected``
+        #: events, which the span tracer promotes into instant markers.
+        self.bus = bus
         controller.resilience.enabled = True
         self._handlers: Dict[str, Callable[[FaultSpec, float], bool]] = {
             FAULT_STALE_CTE: self._stale_cte,
@@ -197,6 +200,10 @@ class FaultInjector:
                 continue
             if self._handlers[spec.kind](spec, now_ns):
                 resilience.count_fault(spec.kind)
+                if self.bus is not None and self.bus.active:
+                    self.bus.publish("faults.injected", now_ns,
+                                     fault=spec.kind,
+                                     access_index=access_index)
             else:
                 resilience.count("faults_skipped")
 

@@ -68,10 +68,44 @@ class EventBus:
     def subscribe_all(self, handler: Callable[[Event], None]) -> None:
         self._all.append(handler)
 
+    def unsubscribe(self, handler: Callable[[Event], None],
+                    kind: Optional[str] = None) -> bool:
+        """Remove one handler (from ``kind``, or wherever it appears).
+
+        Returns True when the handler was found.  Consumers that attach
+        themselves (trace writers, span tracers) detach with this so
+        other subscribers survive -- ``unsubscribe_all`` would drop them
+        too.  Unknown handlers are a no-op, so teardown paths can call
+        it unconditionally.
+        """
+        removed = False
+        if kind is not None:
+            handlers = self._by_kind.get(kind, [])
+            if handler in handlers:
+                handlers.remove(handler)
+                removed = True
+            if not handlers:
+                self._by_kind.pop(kind, None)
+            return removed
+        if handler in self._all:
+            self._all.remove(handler)
+            removed = True
+        for name in list(self._by_kind):
+            handlers = self._by_kind[name]
+            while handler in handlers:
+                handlers.remove(handler)
+                removed = True
+            if not handlers:
+                del self._by_kind[name]
+        return removed
+
     def unsubscribe_all(self) -> None:
         """Drop every subscriber (ends a ``--trace-events`` capture)."""
         self._by_kind.clear()
         self._all.clear()
+
+    #: Alias: ``clear()`` reads better at the end of a capture session.
+    clear = unsubscribe_all
 
     def detach_subscribers(self) -> tuple:
         """Remove and return every subscriber (checkpoint support).
@@ -174,12 +208,17 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
-        """Flatten every source into ``{"ns.key": value}``."""
+        """Flatten every source into ``{"ns.key": value}``.
+
+        The returned dict is fully key-sorted (not just by namespace),
+        so serializing it -- even without ``sort_keys`` -- produces
+        byte-stable documents that ``repro report --compare`` can diff.
+        """
         out: Dict[str, float] = {}
         for namespace in sorted(self._sources):
             for key, value in _flatten_source(self._sources[namespace]).items():
                 out[f"{namespace}{self.SEPARATOR}{key}"] = value
-        return out
+        return dict(sorted(out.items()))
 
     def get(self, key: str, default: Optional[float] = None) -> Optional[float]:
         """One namespaced value, live (no full snapshot)."""
@@ -221,13 +260,28 @@ class Probe:
 
         probe.count("ml2_accesses")
         probe.emit("access_path", now_ns, path=path, ppn=ppn)
+
+    With host-side profiling enabled (``repro run --profile``) the probe
+    additionally carries the run's
+    :class:`~repro.sim.profile.HostProfiler`, so components can scope
+    wall-clock timers to themselves::
+
+        with probe.timed("harvest"):
+            ...  # accounted as profile.<namespace>.harvest.*
+
+    Without a profiler ``timed`` is a shared no-op context manager --
+    one attribute check on the hot path.
     """
 
     def __init__(self, namespace: str, bus: Optional[EventBus] = None,
-                 stats: Optional[StatGroup] = None) -> None:
+                 stats: Optional[StatGroup] = None,
+                 profiler: Optional[object] = None) -> None:
         self.namespace = namespace
         self.bus = bus or EventBus()
         self.stats = stats if stats is not None else StatGroup(namespace)
+        #: Optional :class:`~repro.sim.profile.HostProfiler`; None keeps
+        #: :meth:`timed` free.
+        self.profiler = profiler
 
     def count(self, name: str, amount: int = 1) -> None:
         self.stats.counter(name).increment(amount)
@@ -241,3 +295,16 @@ class Probe:
     def emit(self, kind: str, time_ns: float, **payload: object) -> None:
         """Publish a namespaced trace event (``<namespace>.<kind>``)."""
         self.bus.publish(f"{self.namespace}.{kind}", time_ns, **payload)
+
+    def timed(self, section: str):
+        """A wall-clock timer scoped as ``<namespace>.<section>``.
+
+        Returns the profiler's section context manager, or a shared
+        no-op when profiling is off.
+        """
+        profiler = self.profiler
+        if profiler is None:
+            from repro.sim.profile import NULL_TIMER
+
+            return NULL_TIMER
+        return profiler.section(f"{self.namespace}.{section}")

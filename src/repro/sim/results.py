@@ -70,6 +70,24 @@ class SimResult:
             return 0.0
         return self.footprint_bytes / self.dram_used_bytes
 
+    def headline(self) -> Dict[str, float]:
+        """The handful of metrics a run report leads with.
+
+        A stable, ordered subset of :meth:`as_dict` -- the numbers a
+        reader checks first and ``repro report --compare`` diffs most
+        prominently.
+        """
+        return {
+            "performance": self.performance,
+            "avg_l3_miss_latency_ns": self.avg_l3_miss_latency_ns,
+            "compression_ratio": self.compression_ratio,
+            "tlb_miss_rate": self.tlb_miss_rate,
+            "cte_hit_rate": self.cte_hit_rate,
+            "ml2_access_rate": self.ml2_access_rate,
+            "row_hit_rate": self.row_hit_rate,
+            "bandwidth_utilization": self.bandwidth_utilization,
+        }
+
     def as_dict(self) -> Dict[str, object]:
         """Flatten everything (including derived metrics) for reporting."""
         from dataclasses import asdict

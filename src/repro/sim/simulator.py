@@ -219,11 +219,19 @@ class Simulator:
         self._fault_injector: Optional[FaultInjector] = None
         if fault_plan:
             self._fault_injector = FaultInjector(
-                fault_plan, self.context.rng("faults"), self.controller)
+                fault_plan, self.context.rng("faults"), self.controller,
+                bus=self.context.bus)
         elif resilience:
             self.controller.resilience.enabled = True
         self.context.metrics.attach("resilience",
                                     self.controller.resilience.stats)
+
+        # -- observability (all opt-in; None keeps hooks free) ----------
+        #: Span tracer (``--trace-sample``); every hook is an ``is None``
+        #: check, so untraced runs stay bit-identical.
+        self.tracer = None
+        #: Windowed metrics recorder (``--interval-ns``).
+        self.timeseries = None
 
         # -- per-run counters -------------------------------------------
         self._fig5_cte_misses = 0
@@ -235,6 +243,41 @@ class Simulator:
         #: part of the object's picklable state.
         self._run_state: Optional[RunProgress] = None
         self.context.metrics.attach("sim", self._sim_metrics)
+
+    # ------------------------------------------------------------------
+    # Observability attachment
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> "object":
+        """Adopt a :class:`~repro.sim.tracing.SpanTracer`.
+
+        The tracer also listens on the context bus so migrations and
+        injected faults land as instant markers inside sampled traces.
+        """
+        self.tracer = tracer
+        tracer.attach_bus(self.context.bus)
+        return tracer
+
+    def attach_timeseries(self, recorder) -> "object":
+        """Adopt a :class:`~repro.sim.timeseries.TimeSeriesRecorder`."""
+        self.timeseries = recorder
+        return recorder
+
+    def describe_run(self) -> Dict[str, object]:
+        """The run's configuration, for ``run_config`` in ``--emit-json``
+        documents and the header of ``repro report``."""
+        return {
+            "workload": self.workload.name,
+            "controller": self.controller.describe(),
+            "seed": self.context.seed,
+            "huge_pages": self.huge_pages,
+            "virtualized": self.virtualized,
+            "placement_drift": self.placement_drift,
+            "trace_length": len(self.workload.trace),
+            "footprint_pages": self.workload.footprint_pages,
+            "tlb_entries": self.system.tlb_entries,
+            "mlp_stall_factor": self.system.mlp_stall_factor,
+        }
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -311,26 +354,51 @@ class Simulator:
         config = self.system
         compute_ns = config.cycles_to_ns(self.workload.compute_cycles_per_access)
         injector = self._fault_injector
+        tracer = self.tracer
+        timeseries = self.timeseries
+        profiler = self.context.profiler
         stop_reason = None
 
-        while state.index < len(trace):
-            if supervisor is not None:
-                stop_reason = supervisor.on_access(self, state)
-                if stop_reason is not None:
-                    break
-            index = state.index
-            vaddr, is_write = trace[index]
-            if index == state.warmup_end:
-                self._reset_stats()
-                state.measure_start_ns = self.clock.now_ns
-            if injector is not None:
-                injector.tick(index, self.clock.now_ns)
-            self.clock.advance(compute_ns)
-            stall_ns = self._one_access(vaddr, is_write)
-            self.clock.advance(stall_ns * config.mlp_stall_factor)
-            if index >= state.warmup_end:
-                state.measured += 1
-            state.index += 1
+        try:
+            while state.index < len(trace):
+                if supervisor is not None:
+                    stop_reason = supervisor.on_access(self, state)
+                    if stop_reason is not None:
+                        break
+                index = state.index
+                vaddr, is_write = trace[index]
+                if index == state.warmup_end:
+                    self._reset_stats()
+                    state.measure_start_ns = self.clock.now_ns
+                if injector is not None:
+                    injector.tick(index, self.clock.now_ns)
+                self.clock.advance(compute_ns)
+                if tracer is not None:
+                    tracer.begin_access(self.clock.now_ns, index=index,
+                                        vaddr=vaddr, write=is_write)
+                if profiler is None:
+                    stall_ns = self._one_access(vaddr, is_write)
+                else:
+                    profiler.begin("sim.access")
+                    try:
+                        stall_ns = self._one_access(vaddr, is_write)
+                    finally:
+                        profiler.end()
+                if tracer is not None:
+                    tracer.end_access(self.clock.now_ns + stall_ns)
+                self.clock.advance(stall_ns * config.mlp_stall_factor)
+                if timeseries is not None:
+                    timeseries.maybe_sample(self.clock.now_ns)
+                if index >= state.warmup_end:
+                    state.measured += 1
+                state.index += 1
+
+            if timeseries is not None:
+                timeseries.finish(self.clock.now_ns)
+        finally:
+            # Flush/close owned writers even when the loop dies early, so
+            # --trace-events files are never left truncated and unflushed.
+            self.context.close_owned()
 
         result = self._build_result(state.measured,
                                     self.clock.now_ns - state.measure_start_ns)
@@ -345,6 +413,7 @@ class Simulator:
         """Serve one trace record; returns the access's stall time (ns)."""
         config = self.system
         bus = self.context.bus
+        tracer = self.tracer
         vpn = vaddr >> 12
         tag = (vpn >> 9) if self.huge_pages else vpn
         stall_ns = 0.0
@@ -354,7 +423,16 @@ class Simulator:
             self._tlb_misses += 1
             if bus.active:
                 bus.publish("sim.tlb_miss", self.clock.now_ns, vpn=vpn)
+            walk_span = None
+            if tracer is not None:
+                from repro.sim.tracing import CATEGORY_WALK
+
+                walk_span = tracer.begin("page_walk", CATEGORY_WALK,
+                                         self.clock.now_ns, vpn=vpn,
+                                         nested=self.virtualized)
             stall_ns += self._page_walk(vpn)
+            if tracer is not None:
+                tracer.end(walk_span, self.clock.now_ns + stall_ns)
             self.tlb.fill(tag)
 
         ppn = self._translate_vpn(vpn)
@@ -370,6 +448,7 @@ class Simulator:
                 ppn, block_index, self.clock.now_ns + stall_ns, is_write
             )
             stall_ns += miss.latency_ns
+            self._trace_miss(miss, kind="data", ppn=ppn)
             self._track_fig5(miss.path, after_tlb=tlb_missed)
         self._drain_writebacks(result.dram_writebacks, stall_ns)
         return stall_ns
@@ -393,6 +472,8 @@ class Simulator:
                     self.clock.now_ns + stall_ns, False,
                 )
                 stall_ns += miss.latency_ns
+                self._trace_miss(miss, kind="ptb", ppn=ptb_address >> 12,
+                                 level=level)
                 self._track_fig5(miss.path, after_tlb=True)
             self._drain_writebacks(result.dram_writebacks, stall_ns)
             huge_leaf = walk.huge and level == 2
@@ -425,6 +506,8 @@ class Simulator:
                     self.clock.now_ns + stall_ns, False,
                 )
                 stall_ns += miss.latency_ns
+                self._trace_miss(miss, kind=f"ptb_{kind}",
+                                 ppn=address >> 12, level=level)
                 self._track_fig5(miss.path, after_tlb=True)
             self._drain_writebacks(result.dram_writebacks, stall_ns)
             if kind == HOST_FETCH:
@@ -433,6 +516,18 @@ class Simulator:
                     huge_leaf=False,
                 )
         return stall_ns
+
+    def _trace_miss(self, miss, kind: str, ppn: int,
+                    level: int = -1) -> None:
+        """Promote a served miss's pipeline timeline into the open trace."""
+        tracer = self.tracer
+        if tracer is None or not tracer.active or miss.timeline is None:
+            return
+        args = {"path": miss.path, "kind": kind, "ppn": ppn,
+                "in_ml2": miss.in_ml2}
+        if level >= 0:
+            args["level"] = level
+        tracer.add_timeline("llc_miss", miss.timeline, **args)
 
     def _drain_writebacks(self, blocks, stall_ns: float) -> None:
         for block in blocks:
@@ -481,6 +576,10 @@ class Simulator:
         self._fig5_after_tlb = 0
         self._l3_data_misses = 0
         self._tlb_misses = 0
+        if self.timeseries is not None:
+            # Re-baseline deltas on the zeroed registry so the first
+            # measured window is not one huge negative delta.
+            self.timeseries.on_reset()
 
     def _build_result(self, accesses: int, elapsed_ns: float) -> SimResult:
         controller = self.controller

@@ -61,6 +61,7 @@ def save_checkpoint(sim: Simulator, path: str) -> None:
     """
     state = sim._run_state
     saved_subscribers = sim.context.bus.detach_subscribers()
+    saved_owned = sim.context.detach_owned()
     try:
         payload = pickle.dumps({
             "version": CHECKPOINT_VERSION,
@@ -73,6 +74,7 @@ def save_checkpoint(sim: Simulator, path: str) -> None:
         raise ResourceError(
             f"cannot serialize simulator state: {error}") from error
     finally:
+        sim.context.restore_owned(saved_owned)
         sim.context.bus.restore_subscribers(saved_subscribers)
     tmp_path = f"{path}.tmp"
     try:

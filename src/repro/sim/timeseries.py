@@ -1,0 +1,198 @@
+"""Windowed metrics time-series: MetricsRegistry snapshots over sim time.
+
+End-of-run metrics average over the whole measured region; phase
+behaviour -- the CTE cache warming up, an ML2 burst when the working set
+shifts, migration-buffer pressure ramping -- is invisible in them.  A
+:class:`TimeSeriesRecorder` closes that gap: every ``interval_ns`` of
+*simulated* time it snapshots the run's
+:class:`~repro.sim.instrument.MetricsRegistry` and emits one **delta
+row** -- each metric's change over the window, plus re-derived windowed
+hit rates (``<ns>.hit_rate`` computed from the window's ``.hits`` /
+``.total`` deltas, not the cumulative ratio), so plotting a column
+directly gives the phase curve.
+
+Rows are plain dicts; :func:`write_csv` / :func:`write_rows_jsonl`
+render them with a sorted, union-of-keys column set so output is
+byte-stable and diffable.  Like every observability feature, the
+recorder is opt-in (``repro run --interval-ns``) and read-only: it
+samples exactly at window boundaries using values the simulation already
+computed, consumes no randomness, and leaves metrics untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.sim.instrument import MetricsRegistry
+
+#: Bookkeeping columns every row carries, ahead of the metric columns.
+ROW_META_KEYS = ("window", "start_ns", "end_ns")
+
+
+class TimeSeriesRecorder:
+    """Delta rows of the metrics registry on a fixed sim-time cadence."""
+
+    def __init__(self, registry: MetricsRegistry, interval_ns: float) -> None:
+        if interval_ns <= 0:
+            raise ConfigError(
+                f"time-series interval must be > 0 ns, got {interval_ns}")
+        self.registry = registry
+        self.interval_ns = float(interval_ns)
+        self.rows: List[Dict[str, float]] = []
+        self._window = 0
+        self._window_start_ns = 0.0
+        self._next_boundary_ns = self.interval_ns
+        self._previous: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def maybe_sample(self, now_ns: float) -> None:
+        """Close every window boundary the clock has crossed."""
+        while now_ns >= self._next_boundary_ns:
+            self._close_window(self._next_boundary_ns)
+            self._next_boundary_ns += self.interval_ns
+
+    def finish(self, now_ns: float) -> None:
+        """Flush the final partial window (run end or truncation)."""
+        self.maybe_sample(now_ns)
+        if now_ns > self._window_start_ns:
+            self._close_window(now_ns)
+
+    def on_reset(self) -> None:
+        """Warm-up boundary: re-baseline deltas on the zeroed registry.
+
+        Without this, the first post-warmup window would show the reset
+        itself as a large negative delta.
+        """
+        self._previous = dict(self.registry.snapshot())
+
+    def _close_window(self, end_ns: float) -> None:
+        snapshot = self.registry.snapshot()
+        row: Dict[str, float] = {
+            "window": self._window,
+            "start_ns": self._window_start_ns,
+            "end_ns": end_ns,
+        }
+        previous = self._previous
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            row[key] = value - previous.get(key, 0.0)
+        # Windowed rates: the cumulative ``hit_rate`` delta is nearly
+        # meaningless; recompute each ratio from the window's own
+        # hits/total deltas so the column plots as a phase curve.
+        for key in list(row):
+            if not key.endswith(".hits"):
+                continue
+            prefix = key[: -len(".hits")]
+            total = row.get(f"{prefix}.total")
+            if total is None:
+                continue
+            rate_key = f"{prefix}.hit_rate"
+            row[rate_key] = row[key] / total if total > 0 else 0.0
+        self._previous = snapshot
+        self._window_start_ns = end_ns
+        self._window += 1
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def columns(self) -> List[str]:
+        """Meta keys first, then the sorted union of metric keys."""
+        keys = set()
+        for row in self.rows:
+            keys.update(row)
+        metric_keys = sorted(keys - set(ROW_META_KEYS))
+        return list(ROW_META_KEYS) + metric_keys
+
+    def column(self, key: str) -> List[float]:
+        """One metric's windowed values (0.0 where a window lacks it)."""
+        return [float(row.get(key, 0.0)) for row in self.rows]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "windows": len(self.rows),
+            "interval_ns": self.interval_ns,
+        }
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def write_csv(rows: Sequence[Mapping[str, float]], handle: IO[str],
+              columns: Optional[Sequence[str]] = None) -> None:
+    """Render rows as CSV with a sorted union-of-keys header."""
+    if columns is None:
+        keys = set()
+        for row in rows:
+            keys.update(row)
+        columns = list(ROW_META_KEYS) + sorted(keys - set(ROW_META_KEYS))
+    handle.write(",".join(columns) + "\n")
+    for row in rows:
+        handle.write(",".join(_csv_cell(row.get(key, 0.0))
+                              for key in columns) + "\n")
+
+
+def _csv_cell(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def write_rows_jsonl(rows: Sequence[Mapping[str, float]],
+                     handle: IO[str]) -> None:
+    for row in rows:
+        handle.write(json.dumps(dict(row), sort_keys=True) + "\n")
+
+
+def read_rows(path) -> List[Dict[str, float]]:
+    """Load a time-series file written by either serializer."""
+    from pathlib import Path
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ConfigError(
+            f"cannot read time series {str(path)!r}: {error}") from error
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return []
+    if lines[0].lstrip().startswith("{"):
+        return [json.loads(line) for line in lines]
+    header = lines[0].split(",")
+    rows = []
+    for line in lines[1:]:
+        cells = line.split(",")
+        row: Dict[str, float] = {}
+        for key, cell in zip(header, cells):
+            try:
+                row[key] = float(cell)
+            except ValueError:
+                row[key] = 0.0
+        rows.append(row)
+    return rows
+
+
+def write_timeseries_file(rows: Sequence[Mapping[str, float]], path,
+                          columns: Optional[Sequence[str]] = None) -> None:
+    """Write rows in the format the extension names (.csv, else JSONL)."""
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        with open(path, "w") as handle:
+            if path.suffix == ".csv":
+                write_csv(rows, handle, columns)
+            else:
+                write_rows_jsonl(rows, handle)
+    except OSError as error:
+        raise ConfigError(
+            f"cannot write time series to {str(path)!r}: {error}") from error

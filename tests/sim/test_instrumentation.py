@@ -49,6 +49,64 @@ def test_bus_subscribe_all_and_unsubscribe():
     assert len(seen) == 2
 
 
+def test_bus_unsubscribe_by_kind():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("a", seen.append)
+    bus.subscribe("b", seen.append)
+    assert bus.unsubscribe(seen.append, kind="a")
+    bus.publish("a", 1.0)
+    bus.publish("b", 2.0)
+    assert [e.kind for e in seen] == ["b"]
+    # The empty "a" list is pruned, so only "b" keeps the bus active.
+    assert bus.unsubscribe(seen.append, kind="b")
+    assert not bus.active
+
+
+def test_bus_unsubscribe_everywhere():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("a", seen.append)
+    bus.subscribe("b", seen.append)
+    bus.subscribe_all(seen.append)
+    assert bus.unsubscribe(seen.append)
+    assert not bus.active
+    bus.publish("a", 1.0)
+    assert seen == []
+
+
+def test_bus_unsubscribe_unknown_handler_is_noop():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("a", seen.append)
+    assert not bus.unsubscribe(print)
+    assert not bus.unsubscribe(seen.append, kind="other")
+    assert bus.active
+    bus.publish("a", 1.0)
+    assert len(seen) == 1
+
+
+def test_bus_clear_is_unsubscribe_all():
+    bus = EventBus()
+    bus.subscribe("a", lambda e: None)
+    bus.subscribe_all(lambda e: None)
+    bus.clear()
+    assert not bus.active
+
+
+def test_bus_no_subscriber_publish_builds_no_event(monkeypatch):
+    """With no subscribers, publish must return before constructing Event."""
+    import repro.sim.instrument as instrument
+
+    class _Exploding:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("Event constructed on the fast path")
+
+    monkeypatch.setattr(instrument, "Event", _Exploding)
+    bus = instrument.EventBus()
+    bus.publish("anything", 1.0, payload=1)  # must not raise
+
+
 # ----------------------------------------------------------------------
 # MetricsRegistry
 # ----------------------------------------------------------------------
@@ -166,3 +224,35 @@ def test_probe_wraps_existing_stat_group():
     probe = Probe("controller", stats=group)
     probe.count("x")
     assert group.counter("x").value == 1
+
+
+def test_probe_emit_namespaces_every_kind():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_all(seen.append)
+    Probe("walker", bus=bus).emit("ptb_hit", 1.0)
+    Probe("controller", bus=bus).emit("migration", 2.0, pages=3)
+    assert [e.kind for e in seen] == ["walker.ptb_hit", "controller.migration"]
+    assert seen[1].payload == {"pages": 3}
+
+
+def test_probe_timed_without_profiler_is_null():
+    from repro.sim.profile import NULL_TIMER
+
+    probe = Probe("controller")
+    timer = probe.timed("serve_miss")
+    assert timer is NULL_TIMER
+    with timer:
+        pass  # no-op context manager
+
+
+def test_probe_timed_with_profiler_namespaces_section():
+    from repro.sim.profile import HostProfiler
+
+    profiler = HostProfiler()
+    probe = Probe("controller", profiler=profiler)
+    with probe.timed("serve_miss"):
+        pass
+    report = profiler()
+    assert report["controller.serve_miss.calls"] == 1
+    assert report["controller.serve_miss.total_ns"] >= 0

@@ -1,0 +1,142 @@
+"""Unit tests for the windowed metrics time-series recorder."""
+
+import io
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Counter, RatioStat
+from repro.sim.instrument import MetricsRegistry
+from repro.sim.timeseries import (
+    ROW_META_KEYS,
+    TimeSeriesRecorder,
+    read_rows,
+    write_csv,
+    write_timeseries_file,
+)
+
+
+def _setup():
+    registry = MetricsRegistry()
+    counter = Counter("accesses")
+    ratio = RatioStat("hits")
+    registry.attach("sim.accesses", counter)
+    registry.attach("tlb", ratio)
+    return registry, counter, ratio
+
+
+def test_delta_rows_per_window():
+    registry, counter, _ = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    counter.increment(5)
+    recorder.maybe_sample(100.0)
+    counter.increment(3)
+    recorder.maybe_sample(250.0)  # crosses the 200 ns boundary
+    assert len(recorder.rows) == 2
+    first, second = recorder.rows
+    assert first["window"] == 0
+    assert (first["start_ns"], first["end_ns"]) == (0.0, 100.0)
+    assert first["sim.accesses.value"] == 5
+    # Deltas, not cumulative values.
+    assert second["sim.accesses.value"] == 3
+    assert (second["start_ns"], second["end_ns"]) == (100.0, 200.0)
+
+
+def test_windowed_hit_rate_recomputed_from_deltas():
+    registry, _, ratio = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    for hit in (True, True, False, False):
+        ratio.record(hit)
+    recorder.maybe_sample(100.0)       # window 0: 2/4
+    for _ in range(4):
+        ratio.record(True)
+    recorder.finish(150.0)             # window 1 (partial): 4/4
+    assert recorder.rows[0]["tlb.hit_rate"] == 0.5
+    # The cumulative rate only moved 0.5 -> 0.75; the window is pure.
+    assert recorder.rows[1]["tlb.hit_rate"] == 1.0
+    assert recorder.rows[1]["end_ns"] == 150.0
+
+
+def test_finish_skips_empty_partial_window():
+    registry, counter, _ = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    counter.increment()
+    recorder.finish(100.0)  # exactly one full window, nothing after
+    assert len(recorder.rows) == 1
+
+
+def test_on_reset_rebaselines():
+    registry, counter, _ = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    counter.increment(50)
+    registry.reset()
+    recorder.on_reset()
+    counter.increment(2)
+    recorder.finish(100.0)
+    # Without re-baselining this would be 2 - 50 = -48.
+    assert recorder.rows[0]["sim.accesses.value"] == 2
+
+
+def test_rejects_bad_interval():
+    registry, _, _ = _setup()
+    with pytest.raises(ConfigError):
+        TimeSeriesRecorder(registry, interval_ns=0.0)
+
+
+def test_columns_and_column():
+    registry, counter, ratio = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    counter.increment()
+    ratio.record(True)
+    recorder.maybe_sample(100.0)
+    counter.increment(4)
+    recorder.maybe_sample(200.0)
+    columns = recorder.columns()
+    assert columns[:3] == list(ROW_META_KEYS)
+    assert columns[3:] == sorted(columns[3:])
+    assert "tlb.hit_rate" in columns
+    assert recorder.column("sim.accesses.value") == [1.0, 4.0]
+
+
+def test_csv_round_trip(tmp_path):
+    registry, counter, ratio = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=100.0)
+    counter.increment(7)
+    ratio.record(True)
+    ratio.record(False)
+    recorder.finish(100.0)
+    path = tmp_path / "series.csv"
+    write_timeseries_file(recorder.rows, path, columns=recorder.columns())
+    rows = read_rows(path)
+    assert len(rows) == 1
+    assert rows[0]["sim.accesses.value"] == 7.0
+    assert rows[0]["tlb.hit_rate"] == 0.5
+    header = path.read_text().splitlines()[0]
+    assert header.startswith("window,start_ns,end_ns,")
+
+
+def test_jsonl_round_trip(tmp_path):
+    registry, counter, _ = _setup()
+    recorder = TimeSeriesRecorder(registry, interval_ns=50.0)
+    counter.increment(2)
+    recorder.maybe_sample(50.0)
+    counter.increment(3)
+    recorder.finish(100.0)
+    path = tmp_path / "series.jsonl"
+    write_timeseries_file(recorder.rows, path)
+    rows = read_rows(path)
+    assert [row["sim.accesses.value"] for row in rows] == [2, 3]
+
+
+def test_csv_header_is_union_of_keys():
+    handle = io.StringIO()
+    rows = [
+        {"window": 0, "start_ns": 0.0, "end_ns": 1.0, "a": 1.0},
+        {"window": 1, "start_ns": 1.0, "end_ns": 2.0, "b": 2.5},
+    ]
+    write_csv(rows, handle)
+    lines = handle.getvalue().splitlines()
+    assert lines[0] == "window,start_ns,end_ns,a,b"
+    # Missing cells render as 0; floats keep full precision.
+    assert lines[1] == "0,0,1,1,0"
+    assert lines[2] == "1,1,2,0,2.5"

@@ -259,3 +259,144 @@ def test_run_rejects_faults_with_resume(tmp_path, capsys):
     assert main(["run", "--resume", str(tmp_path / "x.pkl"),
                  "--faults", "stale_cte"]) == 2
     assert "cannot be combined" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Observability: tracing, time series, profiling, reports
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("argv, needle", [
+    (["run", "mcf", "--trace-sample", "0", "--trace-out", "/tmp/t.json"],
+     "--trace-sample must be >= 1"),
+    (["run", "mcf", "--trace-sample", "8"], "--trace-sample needs --trace-out"),
+    (["run", "mcf", "--trace-out", "/tmp/t.json", "--trace-buffer", "1"],
+     "--trace-buffer must be >= 2"),
+    (["run", "mcf", "--interval-ns", "0", "--interval-out", "/tmp/s.csv"],
+     "--interval-ns must be > 0"),
+    (["run", "mcf", "--interval-ns", "100"],
+     "--interval-ns needs --interval-out"),
+    (["run", "mcf", "--interval-out", "/tmp/s.csv"],
+     "--interval-out needs --interval-ns"),
+])
+def test_observability_validation_errors(capsys, argv, needle):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert needle in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_run_emit_json_identical_with_observability_on(tmp_path, capsys):
+    """Tracing/time-series/profiling must not perturb simulation metrics.
+
+    ``profile.*`` keys are host wall-clock and non-deterministic, so the
+    regression check strips them; every simulated metric must be
+    byte-identical.
+    """
+    argv = ["run", "mcf", "--accesses", "6000", "--scale", "0.12",
+            "--seed", "3", "--emit-json"]
+    assert main(argv) == 0
+    baseline = json.loads(capsys.readouterr().out)
+    assert main(argv + [
+        "--trace-sample", "16", "--trace-out", str(tmp_path / "t.json"),
+        "--trace-buffer", "256",
+        "--interval-ns", "1000000", "--interval-out", str(tmp_path / "s.csv"),
+        "--profile"]) == 0
+    observed = json.loads(capsys.readouterr().out)
+    observed["metrics"] = {k: v for k, v in observed["metrics"].items()
+                           if not k.startswith("profile.")}
+    observed["metrics_tree"].pop("profile", None)
+    assert json.dumps(observed, sort_keys=True) == \
+        json.dumps(baseline, sort_keys=True)
+
+
+def test_emit_json_keys_are_sorted(capsys):
+    assert main(["run", "mcf", "--accesses", "4000", "--scale", "0.12",
+                 "--emit-json"]) == 0
+    out = capsys.readouterr().out
+    record = json.loads(out)
+    metric_keys = list(record["metrics"])
+    assert metric_keys == sorted(metric_keys)
+    # The whole document is dumped with sort_keys: re-dumping sorted
+    # reproduces the exact bytes.
+    assert out.strip() == json.dumps(record, indent=2, sort_keys=True)
+
+
+def test_run_trace_out_perfetto_and_report(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    series = tmp_path / "series.csv"
+    result = tmp_path / "run.json"
+    argv = ["run", "mcf", "--accesses", "6000", "--scale", "0.12",
+            "--seed", "3", "--emit-json",
+            "--trace-sample", "8", "--trace-out", str(trace),
+            "--interval-ns", "1000000", "--interval-out", str(series)]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    result.write_text(captured.out)
+
+    document = json.loads(trace.read_text())
+    assert isinstance(document["traceEvents"], list) and document["traceEvents"]
+    categories = {e["cat"] for e in document["traceEvents"]}
+    assert "access" in categories
+    assert series.read_text().startswith("window,start_ns,end_ns,")
+
+    assert main(["report", str(result), "--trace", str(trace),
+                 "--timeseries", str(series)]) == 0
+    out = capsys.readouterr().out
+    assert "# Run report: mcf" in out
+    assert "## Headline metrics" in out
+    assert "## Slowest spans" in out
+    assert "## Time series" in out
+
+
+def test_trace_convert_round_trip(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["run", "mcf", "--accesses", "4000", "--scale", "0.12",
+                 "--trace-sample", "8", "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(["trace", "convert", str(trace), str(jsonl)]) == 0
+    assert "converted" in capsys.readouterr().out
+    from repro.sim.tracing import load_spans
+
+    assert load_spans(jsonl) == load_spans(trace)
+
+
+def test_trace_convert_bad_input(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("garbage\n")
+    assert main(["trace", "convert", str(bad), str(tmp_path / "o.json")]) == 2
+    assert "error (config)" in capsys.readouterr().err
+
+
+def test_run_profile_prints_host_sections(capsys):
+    assert main(["run", "mcf", "--accesses", "4000", "--scale", "0.12",
+                 "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "sim.access" in out
+    assert "self_ms" in out
+
+
+def test_report_compare_exit_codes(tmp_path, capsys):
+    base = ["run", "mcf", "--accesses", "6000", "--scale", "0.12",
+            "--emit-json"]
+    assert main(base + ["--seed", "3"]) == 0
+    a = tmp_path / "a.json"
+    a.write_text(capsys.readouterr().out)
+    assert main(base + ["--seed", "4"]) == 0
+    b = tmp_path / "b.json"
+    b.write_text(capsys.readouterr().out)
+
+    assert main(["report", "--compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("comparing")
+    assert "delta" in out and "relative" in out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"workload": "w"}))
+    assert main(["report", "--compare", str(a), str(bad)]) == 2
+    assert "error (config)" in capsys.readouterr().err
+
+
+def test_report_requires_result_or_compare(capsys):
+    assert main(["report"]) == 2
+    assert "error (config)" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""The pinned performance-benchmark suite behind ``repro bench``.
+
+The suite replays the Figure 18 configuration matrix -- every paper
+graph/SPEC/PARSEC workload under the uncompressed baseline, Compresso,
+and TMCC at Compresso's measured DRAM budget (iso-capacity) -- with
+pinned access count and seed, and reports *host* throughput in
+simulated accesses per second per configuration.
+
+Two artifacts live in ``benchmarks/perf/``:
+
+- ``BENCH_<date>.json`` -- one measurement document per recorded run;
+  the dated series is the performance trajectory of the simulator
+  itself (see ``docs/performance.md``).
+- ``baseline.json`` -- the committed reference the CI ``bench`` job
+  compares against; :func:`compare_to_baseline` flags any
+  configuration (or the suite aggregate) that regressed by more than
+  the allowed fraction.
+
+Throughput is a host property: absolute accesses/sec depends on the
+machine, so regression gates are only meaningful against a baseline
+recorded on comparable hardware.  The committed baseline holds the
+numbers from the slowest reference host; treat cross-host comparisons
+as trajectories, not gates.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import date
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
+from repro.sim.experiments import run_workload
+from repro.workloads.suite import workload_by_name
+
+#: The pinned Figure 18 workload set (benchmarks/conftest.py's default).
+BENCH_WORKLOADS = ("pageRank", "shortestPath", "bfs", "kcore", "mcf",
+                   "omnetpp", "canneal")
+#: Controller sequence per workload.  Order matters: TMCC runs at the
+#: DRAM budget Compresso measured, so Compresso must precede it.
+BENCH_CONTROLLERS = ("uncompressed", "compresso", "tmcc")
+#: Pinned replay length and seed (the fig18 benchmark's defaults).
+BENCH_ACCESSES = 60_000
+BENCH_SEED = 1
+
+#: Document format tag, bumped on breaking schema changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def default_output_name(today: Optional[date] = None) -> str:
+    """``BENCH_<ISO date>.json`` -- the dated trajectory file name."""
+    return f"BENCH_{(today or date.today()).isoformat()}.json"
+
+
+def run_suite(
+    accesses: int = BENCH_ACCESSES,
+    workloads: Sequence[str] = BENCH_WORKLOADS,
+    fast_path: str = "auto",
+    seed: int = BENCH_SEED,
+    system: Optional[SystemConfig] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Run the pinned suite; returns the benchmark document.
+
+    Each workload shares one :class:`PageCompressionModel` across its
+    three controllers (page-content sampling is the dominant setup cost
+    and is identical between them), exactly as the fig18 benchmark
+    does.  ``progress`` receives each per-configuration record as it
+    completes.
+    """
+    unknown = [name for name in workloads if name not in BENCH_WORKLOADS]
+    if unknown:
+        raise ConfigError(f"unknown bench workload(s) {unknown}; "
+                          f"choose from {list(BENCH_WORKLOADS)}")
+    system = system or SystemConfig()
+    records: List[Dict[str, object]] = []
+    suite_start = time.perf_counter()
+    for name in workloads:
+        workload = workload_by_name(name, max_accesses=accesses)
+        model = PageCompressionModel(
+            workload.content,
+            sample_pages=system.compression_samples,
+            deflate_config=system.deflate,
+            timing=system.deflate_timing,
+            ibm=system.ibm_timing,
+            seed=seed,
+        )
+        budget = None
+        for controller in BENCH_CONTROLLERS:
+            start = time.perf_counter()
+            result = run_workload(workload, controller, system,
+                                  dram_budget_bytes=budget, seed=seed,
+                                  model=model, fast_path=fast_path)
+            elapsed = time.perf_counter() - start
+            if controller == "compresso":
+                budget = result.dram_used_bytes
+            replayed = len(workload.trace)
+            record = {
+                "workload": name,
+                "controller": controller,
+                "accesses": replayed,
+                "elapsed_s": round(elapsed, 4),
+                "accesses_per_s": round(replayed / elapsed, 1),
+            }
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    suite_elapsed = time.perf_counter() - suite_start
+    total = sum(record["accesses"] for record in records)
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": date.today().isoformat(),
+        "accesses": accesses,
+        "seed": seed,
+        "fast_path": fast_path,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "suite_accesses": total,
+        "suite_elapsed_s": round(suite_elapsed, 2),
+        "suite_accesses_per_s": round(total / suite_elapsed, 1),
+        "configs": records,
+    }
+
+
+def write_document(document: Dict[str, object], path: str) -> None:
+    """Write a benchmark document as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_document(path: str) -> Dict[str, object]:
+    """Load a benchmark document; :class:`ConfigError` on bad input."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ConfigError(f"cannot read benchmark document: {error}")
+    except ValueError as error:
+        raise ConfigError(f"{path} is not valid JSON: {error}")
+    if not isinstance(document, dict) or "configs" not in document:
+        raise ConfigError(f"{path} is not a repro-bench document "
+                          f"(missing 'configs')")
+    return document
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 0.20,
+) -> List[str]:
+    """Regression messages for configs slower than baseline allows.
+
+    A configuration regresses when its accesses/sec falls below
+    ``baseline * (1 - max_regression)``; the suite aggregate is held to
+    the same bar.  Configurations present on only one side are skipped
+    (the matrix may legitimately grow), and an empty return means the
+    gate passes.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ConfigError(f"max_regression must be in [0, 1), "
+                          f"got {max_regression}")
+    baseline_rates = {
+        (record["workload"], record["controller"]): record["accesses_per_s"]
+        for record in baseline.get("configs", [])
+    }
+    floor = 1.0 - max_regression
+    messages = []
+    for record in current.get("configs", []):
+        key = (record["workload"], record["controller"])
+        reference = baseline_rates.get(key)
+        if reference is None or reference <= 0:
+            continue
+        rate = record["accesses_per_s"]
+        if rate < reference * floor:
+            messages.append(
+                f"{key[0]}/{key[1]}: {rate:,.0f} acc/s is "
+                f"{1 - rate / reference:.0%} below baseline "
+                f"{reference:,.0f} acc/s"
+            )
+    suite_ref = baseline.get("suite_accesses_per_s")
+    suite_now = current.get("suite_accesses_per_s")
+    if suite_ref and suite_now and suite_now < suite_ref * floor:
+        messages.append(
+            f"suite: {suite_now:,.0f} acc/s is "
+            f"{1 - suite_now / suite_ref:.0%} below baseline "
+            f"{suite_ref:,.0f} acc/s"
+        )
+    return messages

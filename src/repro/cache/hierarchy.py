@@ -38,7 +38,7 @@ class HierarchyConfig:
     l2_stride_degree: int = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """What one block access did."""
 
@@ -128,17 +128,114 @@ class CacheHierarchy:
         return AccessResult("memory", latency, l3_miss=True,
                             dram_writebacks=writebacks)
 
+    def access_fast(self, block: int, is_write: bool, is_ptb: bool,
+                    writebacks: List[int]) -> int:
+        """Zero-observer variant of :meth:`access`.
+
+        Returns the hit level (0=L1, 1=L2, 2=L3, 3=memory) instead of an
+        :class:`AccessResult`; dirty L3 victims are appended to the
+        caller-owned ``writebacks`` list.  Every cache, prefetcher, and
+        stat state transition must stay identical to :meth:`access` (the
+        fast-path contract, ``docs/performance.md``).
+        """
+        if self.config.enable_prefetch:
+            outstanding = self._next_line._outstanding
+            if block in outstanding:
+                outstanding[block] = True
+
+        l1 = self.l1
+        entries = l1._sets[block & (l1.num_sets - 1)]
+        line = entries.get(block)
+        stats = l1.stats
+        stats.total += 1
+        if line is not None:
+            stats.hits += 1
+            entries.move_to_end(block)
+            if is_write:
+                line.dirty = True
+            return 0
+        return self.access_fast_miss(block, is_write, is_ptb, writebacks)
+
+    def access_fast_miss(self, block: int, is_write: bool, is_ptb: bool,
+                         writebacks: List[int]) -> int:
+        """L1-miss continuation of :meth:`access_fast`.
+
+        Split out so the fast replay loop can inline the (hot, trivial)
+        next-line training + L1 probe and only pay a call on a miss.
+        """
+        if self.config.enable_prefetch:
+            # _prefetch_candidates_l1 issued in candidate order; issuing
+            # next-line candidates before training the L1 stride table is
+            # equivalent because prefetchers never read cache contents.
+            self._issue_prefetches(self._next_line.on_miss(block), writebacks)
+            self._issue_prefetches(self._stride_l1.on_access(block), writebacks)
+
+        l2 = self.l2
+        entries = l2._sets[block & (l2.num_sets - 1)]
+        line = entries.get(block)
+        stats = l2.stats
+        stats.total += 1
+        if line is not None:
+            stats.hits += 1
+            entries.move_to_end(block)
+            self._fill_l1(block, is_write, line.compressed, line.is_ptb, writebacks)
+            return 1
+
+        if self.config.enable_prefetch:
+            self._issue_prefetches(self._stride_l2.on_access(block), writebacks)
+
+        l3 = self.l3
+        entries = l3._sets[block & (l3.num_sets - 1)]
+        moved = entries.get(block)
+        stats = l3.stats
+        stats.total += 1
+        if moved is not None:
+            stats.hits += 1
+            # lookup-then-invalidate collapses to one removal: the
+            # lookup's recency bump is dead state on a leaving line.
+            del entries[block]
+            self._fill_l2(block, moved.dirty, moved.compressed,
+                          moved.is_ptb, writebacks)
+            self._fill_l1(block, is_write, moved.compressed, moved.is_ptb,
+                          writebacks)
+            return 2
+
+        self._fill_l2(block, dirty=False, compressed=False, is_ptb=is_ptb,
+                      writebacks=writebacks)
+        self._fill_l1(block, is_write, compressed=False, is_ptb=is_ptb,
+                      writebacks=writebacks)
+        return 3
+
     # ------------------------------------------------------------------
     # Fill helpers (inclusive L2, exclusive L3)
     # ------------------------------------------------------------------
 
+    # The fill helpers inline :meth:`SetAssociativeCache.fill` (and the
+    # peek/invalidate of the inclusion maintenance): they sit under every
+    # L1 miss of the replay loop, and the extra call layers dominated the
+    # hierarchy's profile.  Any change to the fill semantics must be
+    # mirrored in ``sa_cache.py``.
+
     def _fill_l1(self, block: int, is_write: bool, compressed: bool,
                  is_ptb: bool, writebacks: List[int]) -> None:
-        victim = self.l1.fill(block, dirty=is_write, compressed=compressed,
-                              is_ptb=is_ptb)
+        l1 = self.l1
+        entries = l1._sets[block & (l1.num_sets - 1)]
+        line = entries.get(block)
+        if line is not None:  # refresh in place
+            entries.move_to_end(block)
+            line.dirty = line.dirty or is_write
+            line.compressed = compressed
+            line.is_ptb = line.is_ptb or is_ptb
+            return
+        victim = None
+        if len(entries) >= l1.associativity:
+            _, victim = entries.popitem(last=False)
+        entries[block] = CacheLine(block, dirty=is_write,
+                                   compressed=compressed, is_ptb=is_ptb)
         if victim is not None and victim.dirty:
             # Inclusive L2 holds the line; merge the dirty data down.
-            l2_line = self.l2.peek(victim.block)
+            l2 = self.l2
+            l2_line = l2._sets[victim.block & (l2.num_sets - 1)].get(victim.block)
             if l2_line is not None:
                 l2_line.dirty = True
             else:
@@ -147,19 +244,46 @@ class CacheHierarchy:
 
     def _fill_l2(self, block: int, dirty: bool, compressed: bool,
                  is_ptb: bool, writebacks: List[int]) -> None:
-        victim = self.l2.fill(block, dirty=dirty, compressed=compressed,
-                              is_ptb=is_ptb)
+        l2 = self.l2
+        entries = l2._sets[block & (l2.num_sets - 1)]
+        line = entries.get(block)
+        if line is not None:  # refresh in place
+            entries.move_to_end(block)
+            line.dirty = line.dirty or dirty
+            line.compressed = compressed
+            line.is_ptb = line.is_ptb or is_ptb
+            return
+        victim = None
+        if len(entries) >= l2.associativity:
+            _, victim = entries.popitem(last=False)
+        entries[block] = CacheLine(block, dirty=dirty, compressed=compressed,
+                                   is_ptb=is_ptb)
         if victim is not None:
             # Inclusive: purge the L1 copy; its dirtiness rides along.
-            l1_copy = self.l1.invalidate(victim.block)
+            l1 = self.l1
+            l1_copy = l1._sets[victim.block & (l1.num_sets - 1)].pop(
+                victim.block, None)
             if l1_copy is not None and l1_copy.dirty:
                 victim.dirty = True
             self._victim_to_l3(victim, writebacks)
 
     def _victim_to_l3(self, victim: CacheLine, writebacks: List[int]) -> None:
-        l3_victim = self.l3.fill(victim.block, dirty=victim.dirty,
-                                 compressed=victim.compressed,
-                                 is_ptb=victim.is_ptb)
+        l3 = self.l3
+        block = victim.block
+        entries = l3._sets[block & (l3.num_sets - 1)]
+        line = entries.get(block)
+        if line is not None:  # refresh in place
+            entries.move_to_end(block)
+            line.dirty = line.dirty or victim.dirty
+            line.compressed = victim.compressed
+            line.is_ptb = line.is_ptb or victim.is_ptb
+            return
+        l3_victim = None
+        if len(entries) >= l3.associativity:
+            _, l3_victim = entries.popitem(last=False)
+        # The victim object itself moves into L3: it is unreferenced after
+        # this call and the fill would copy its fields verbatim anyway.
+        entries[block] = victim
         if l3_victim is not None and l3_victim.dirty:
             writebacks.append(l3_victim.block)
 
@@ -174,11 +298,17 @@ class CacheHierarchy:
 
     def _issue_prefetches(self, blocks: List[int], writebacks: List[int]) -> None:
         """Install prefetched blocks into L2 (no latency is charged)."""
+        if not blocks:
+            return
+        l1, l2, l3 = self.l1, self.l2, self.l3
         for block in blocks:
-            if self.l1.contains(block) or self.l2.contains(block):
+            if block in l1._sets[block & (l1.num_sets - 1)]:
                 continue
-            if self.l3.contains(block):
-                moved = self.l3.invalidate(block)
+            if block in l2._sets[block & (l2.num_sets - 1)]:
+                continue
+            # contains + invalidate collapse to one pop.
+            moved = l3._sets[block & (l3.num_sets - 1)].pop(block, None)
+            if moved is not None:
                 self._fill_l2(block, moved.dirty, moved.compressed,
                               moved.is_ptb, writebacks)
             else:

@@ -99,18 +99,21 @@ class StridePrefetcher:
     def on_access(self, block: int) -> List[int]:
         """Observe a demand access; return blocks to prefetch."""
         region = block >> 6  # 64 blocks = 4 KB region
-        entry = self._table.pop(region, None)
-        prefetches: List[int] = []
+        table = self._table
+        entry = table.pop(region, None)
         if entry is None:
-            self._table[region] = (block, 0, False)
-        else:
-            last, stride, confirmed = entry
-            new_stride = block - last
-            if new_stride != 0 and new_stride == stride:
-                prefetches = [block + new_stride * (i + 1) for i in range(self.degree)]
-                self._table[region] = (block, new_stride, True)
-            else:
-                self._table[region] = (block, new_stride, False)
-        while len(self._table) > self.table_entries:
-            self._table.popitem(last=False)
-        return [p for p in prefetches if p >= 0]
+            table[region] = (block, 0, False)
+            if len(table) > self.table_entries:
+                table.popitem(last=False)
+            return []
+        new_stride = block - entry[0]
+        if new_stride != 0 and new_stride == entry[1]:
+            table[region] = (block, new_stride, True)
+            if len(table) > self.table_entries:
+                table.popitem(last=False)
+            return [p for i in range(self.degree)
+                    if (p := block + new_stride * (i + 1)) >= 0]
+        table[region] = (block, new_stride, False)
+        if len(table) > self.table_entries:
+            table.popitem(last=False)
+        return []

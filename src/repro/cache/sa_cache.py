@@ -16,7 +16,7 @@ from repro.common.stats import RatioStat
 from repro.common.units import BLOCK_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Metadata of one resident block."""
 

@@ -16,6 +16,9 @@ The subcommands cover the library's main entry points:
 - ``sweep``     -- TMCC's performance/capacity trade-off curve.
 - ``report``    -- render one ``--emit-json`` document as a
   markdown/HTML run report, or diff two with ``--compare A B``.
+- ``bench``     -- run the pinned performance suite (``repro.bench``),
+  write ``BENCH_<date>.json``, and optionally gate against a committed
+  baseline (``--baseline``/``--max-regression``).
 - ``trace convert`` -- translate span traces between JSONL and Perfetto.
 
 Controllers come from :data:`repro.core.CONTROLLER_REGISTRY`; pass
@@ -261,6 +264,8 @@ def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
         return "--faults only supports single-core runs"
     if args.cores > 1 and (args.checkpoint or args.wall_clock_limit):
         return "--checkpoint/--wall-clock-limit only support single-core runs"
+    if args.cores > 1 and args.fast_path == "on":
+        return "--fast-path on only supports single-core runs"
     return None
 
 
@@ -314,6 +319,7 @@ def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
                 print(f"note: resuming from {args.resume}; "
                       f"workload argument ignored", file=sys.stderr)
             sim = load_checkpoint(args.resume)
+            sim.fast_path = args.fast_path
             controller_name = sim.controller_name
         else:
             from repro.sim.multicore import MultiCoreSimulator
@@ -338,7 +344,8 @@ def _run_simulation(args: argparse.Namespace, holder: dict) -> int:
                     context.enable_profiling()
                 sim = Simulator(workload, controller=args.controller,
                                 seed=args.seed, fault_plan=plan,
-                                context=context)
+                                context=context,
+                                fast_path=args.fast_path)
     except BaseException:
         if event_writer is not None:
             event_writer.close()
@@ -556,6 +563,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BENCH_WORKLOADS,
+        compare_to_baseline,
+        default_output_name,
+        load_document,
+        run_suite,
+        write_document,
+    )
+    from repro.common.errors import ConfigError
+
+    try:
+        if not 0.0 <= args.max_regression < 1.0:
+            raise ConfigError(f"--max-regression must be in [0, 1), "
+                              f"got {args.max_regression}")
+        workloads = tuple(BENCH_WORKLOADS)
+        if args.workloads:
+            workloads = tuple(name.strip()
+                              for name in args.workloads.split(",")
+                              if name.strip())
+            if not workloads:
+                raise ConfigError("--workloads must name at least one "
+                                  "workload")
+        baseline = load_document(args.baseline) if args.baseline else None
+
+        def show(record) -> None:
+            print(f"{record['workload']}/{record['controller']}: "
+                  f"{record['accesses_per_s']:,.0f} acc/s", flush=True)
+
+        document = run_suite(accesses=args.accesses, workloads=workloads,
+                             fast_path=args.fast_path, seed=args.seed,
+                             progress=show)
+    except ConfigError as error:
+        print(f"error (config): {error}", file=sys.stderr)
+        return 2
+    out = args.out or default_output_name()
+    write_document(document, out)
+    print(f"suite: {document['suite_accesses']} accesses in "
+          f"{document['suite_elapsed_s']}s = "
+          f"{document['suite_accesses_per_s']:,.0f} acc/s")
+    print(f"benchmark document written to {out}")
+    if baseline is not None:
+        regressions = compare_to_baseline(document, baseline,
+                                          args.max_regression)
+        if regressions:
+            for message in regressions:
+                print(f"regression: {message}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.max_regression:.0%} "
+              f"vs {args.baseline}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "convert":
         from repro.common.errors import ConfigError
@@ -651,6 +711,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interval-out", metavar="PATH",
                      help="write the time series: .csv or JSONL by "
                           "extension")
+    run.add_argument("--fast-path", choices=("auto", "on", "off"),
+                     default="auto",
+                     help="zero-observer replay loop: 'auto' takes it "
+                          "whenever eligible, 'on' demands it (config "
+                          "error when observers force the slow loop), "
+                          "'off' always runs the instrumented loop")
     run.add_argument("--profile", action="store_true",
                      help="measure host wall-clock self-time per section "
                           "(adds profile.* metrics; non-deterministic)")
@@ -680,6 +746,32 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "compare":
             sub.add_argument("--emit-json", action="store_true",
                              help="emit per-system results with metric trees")
+
+    bench = commands.add_parser(
+        "bench", help="run the pinned performance suite "
+                      "(accesses/sec per controller)")
+    bench.add_argument("--accesses", type=int, default=60_000,
+                       help="replay length per configuration "
+                            "(default: 60000, the fig18 pin)")
+    bench.add_argument("--workloads", metavar="CSV",
+                       help="comma-separated subset of the pinned "
+                            "workloads (default: all seven)")
+    bench.add_argument("--fast-path", choices=("auto", "on", "off"),
+                       default="auto",
+                       help="which replay loop the suite times "
+                            "(default: auto)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--out", metavar="PATH",
+                       help="output document "
+                            "(default: BENCH_<date>.json)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       help="committed reference document; exit 1 when "
+                            "any configuration regresses beyond "
+                            "--max-regression")
+    bench.add_argument("--max-regression", type=float, default=0.20,
+                       metavar="FRACTION",
+                       help="allowed fractional slowdown vs the "
+                            "baseline (default: 0.20)")
 
     trace = commands.add_parser(
         "trace", help="export a workload trace / simulate a trace file")
@@ -729,6 +821,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "report": _cmd_report,
     }

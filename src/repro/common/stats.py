@@ -43,7 +43,7 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in items) / len(items))
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A named monotonically increasing event counter."""
 
@@ -57,7 +57,7 @@ class Counter:
         self.value = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RatioStat:
     """Tracks hits out of total lookups (TLB/cache/CTE hit rates)."""
 
@@ -87,7 +87,7 @@ class RatioStat:
         self.total = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Histogram:
     """Accumulates samples; reports count/sum/mean and percentiles."""
 

@@ -37,6 +37,12 @@ PATH_ML2 = "ml2"
 ACCESS_PATHS = (PATH_CTE_HIT, PATH_PARALLEL_OK, PATH_PARALLEL_MISMATCH,
                 PATH_SERIAL_NO_CTE, PATH_ML2)
 
+#: Pre-interned stat keys for the zero-observer fast path: the hot loop
+#: must not rebuild ``path_<p>`` / ``<stage>.ns`` strings per miss.
+_PATH_COUNTER_KEY = {path: f"path_{path}" for path in ACCESS_PATHS}
+_STAGE_KEYS: Dict[str, tuple] = {}
+_DATA_FETCH_NS_KEY = f"{STAGE_DATA_FETCH}.ns"
+
 #: The memory-controller registry.  Controller classes self-register with
 #: ``@CONTROLLER_REGISTRY.register`` (the key is the class's ``name``);
 #: simulators, benchmarks, and the CLI instantiate by name.
@@ -60,7 +66,7 @@ def create_controller(name: str, config: SystemConfig, dram: DRAMSystem,
     return CONTROLLER_REGISTRY.create(name, config, dram, seed=seed)
 
 
-@dataclass
+@dataclass(slots=True)
 class MissResult:
     """Outcome of one LLC-miss service."""
 
@@ -296,3 +302,67 @@ class MemoryController:
         self.stats.histogram("miss_latency_ns").record(timeline.total_ns)
         return MissResult(timeline.total_ns, path, in_ml2=in_ml2,
                           timeline=timeline)
+
+    # ------------------------------------------------------------------
+    # Zero-observer fast path (docs/performance.md)
+    # ------------------------------------------------------------------
+    #
+    # ``serve_l3_miss_fast`` is the no-observer twin of ``serve_l3_miss``:
+    # same DRAM traffic, same stat mutations, same RNG draws, but no
+    # Stage/ServiceTimeline/MissResult object graph.  The ``--emit-json``
+    # byte-equality golden pins the contract; any behavioural divergence
+    # between the two is a bug.  Only valid when no tracer/profiler/
+    # timeseries/fault-injector is attached and resilience is disabled
+    # (``Simulator.fast_path_eligible`` gates this).
+
+    def _dram_read_fast(self, address: int, now_ns: float,
+                        include_noc: bool = True) -> float:
+        """:meth:`_dram_read_ns` without the ``ReadResult`` allocation.
+
+        Assumes resilience is disabled (the eligibility gate guarantees
+        it), so the retry loop is dead code here.
+        """
+        latency = self.dram.read_ns(address, now_ns)
+        if include_noc:
+            return latency
+        return latency - self.dram.config.timing.noc_ns
+
+    def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
+                           is_write: bool = False):
+        """Serve an LLC miss on the fast path; returns ``(latency_ns, path)``."""
+        latency = self._dram_read_fast(self._data_address(ppn, block_index),
+                                       now_ns)
+        stats = self.stats
+        stats.counter("l3_misses").value += 1
+        stats.histogram("miss_latency_ns").samples.append(latency)
+        accounting = self.stage_accounting
+        accounting.record_span(PATH_CTE_HIT, STAGE_DATA_FETCH, latency,
+                               True, False, 0.0)
+        accounting.record_total(PATH_CTE_HIT, latency)
+        self.stage_stats.histogram(_DATA_FETCH_NS_KEY).samples.append(latency)
+        return latency, PATH_CTE_HIT
+
+    def _finish_fast(self, path: str, spans, total_ns: float) -> None:
+        """Fast-path epilogue mirroring :meth:`_finish_miss`.
+
+        ``spans`` is a sequence of ``(name, latency_ns, critical, wasted,
+        slack_ns)`` tuples in the order the slow path would record them.
+        """
+        stats = self.stats
+        stats.counter(_PATH_COUNTER_KEY[path]).value += 1
+        accounting = self.stage_accounting
+        record_span = accounting.record_span
+        histogram = self.stage_stats.histogram
+        for name, latency_ns, critical, wasted, slack_ns in spans:
+            record_span(path, name, latency_ns, critical, wasted, slack_ns)
+            keys = _STAGE_KEYS.get(name)
+            if keys is None:
+                keys = _STAGE_KEYS[name] = (
+                    f"{name}.ns", f"{name}.wasted_ns", f"{name}.slack_ns")
+            histogram(keys[0]).samples.append(latency_ns)
+            if wasted:
+                histogram(keys[1]).samples.append(latency_ns)
+            elif slack_ns:
+                histogram(keys[2]).samples.append(slack_ns)
+        accounting.record_total(path, total_ns)
+        stats.histogram("miss_latency_ns").samples.append(total_ns)

@@ -27,7 +27,14 @@ from repro.core.base import (
     register_controller,
 )
 from repro.core.compmodel import PageCompressionModel
-from repro.core.pipeline import STAGE_CTE_FETCH, Stage, cond, evaluate, serial
+from repro.core.pipeline import (
+    STAGE_CTE_FETCH,
+    STAGE_DATA_FETCH,
+    Stage,
+    cond,
+    evaluate,
+    serial,
+)
 from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
 from repro.mc.cte import CTE_SIZE_BLOCKLEVEL, CompressoCTE
@@ -162,6 +169,55 @@ class CompressoController(MemoryController):
                 path = PATH_SERIAL_NO_CTE
             return self._finish_miss(timeline, path, False, now_ns, ppn)
 
+    def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
+                           is_write: bool = False):
+        """Zero-observer twin of :meth:`serve_l3_miss` (see base.py)."""
+        self.stats.counter("l3_misses").value += 1
+        cache = self.cte_cache
+        block = ppn // cache.pages_per_block
+        lru = cache._lru
+        cache_hit = block in lru
+        cache_stats = cache.stats
+        cache_stats.total += 1
+        if cache_hit:
+            cache_stats.hits += 1
+            lru.move_to_end(block)
+            total = self._dram_read_fast(
+                self._data_address(ppn, block_index), now_ns)
+            spans = ((STAGE_DATA_FETCH, total, True, False, 0.0),)
+            path = PATH_CTE_HIT
+        else:
+            cte_lat = self._fetch_cte_serial_fast(ppn, now_ns)
+            data_lat = self._dram_read_fast(
+                self._data_address(ppn, block_index), now_ns + cte_lat)
+            total = cte_lat + data_lat
+            spans = ((STAGE_CTE_FETCH, cte_lat, True, False, 0.0),
+                     (STAGE_DATA_FETCH, data_lat, True, False, 0.0))
+            self._fill_cte_cache(ppn)
+            path = PATH_SERIAL_NO_CTE
+        self._finish_fast(path, spans, total)
+        return total, path
+
+    def _fetch_cte_serial_fast(self, ppn: int, now_ns: float) -> float:
+        """:meth:`_fetch_cte_serial_ns` via the allocation-free DRAM read."""
+        stats = self.stats
+        if self.cte_victim_in_llc:
+            block = ppn // self.cte_cache.pages_per_block
+            victims = self._llc_victims
+            if block in victims:
+                victims.move_to_end(block)
+                stats.counter("cte_llc_hits").value += 1
+                return self.LLC_ACCESS_NS
+            stats.counter("cte_llc_misses").value += 1
+            stats.counter("cte_dram_fetches").value += 1
+            return self.LLC_ACCESS_NS + self._dram_read_fast(
+                self._cte_address(ppn, CTE_SIZE_BLOCKLEVEL), now_ns,
+                include_noc=False)
+        stats.counter("cte_dram_fetches").value += 1
+        return self._dram_read_fast(
+            self._cte_address(ppn, CTE_SIZE_BLOCKLEVEL), now_ns,
+            include_noc=False)
+
     def _fetch_cte_serial_ns(self, ppn: int, now_ns: float) -> float:
         """Serial CTE fetch, optionally probing the LLC victim copy."""
         block = ppn // self.cte_cache.pages_per_block
@@ -185,16 +241,12 @@ class CompressoController(MemoryController):
 
     def _fill_cte_cache(self, ppn: int) -> None:
         """Fill the CTE cache; spill the victim to the LLC if enabled."""
-        if not self.cte_victim_in_llc:
-            self.cte_cache.fill(ppn)
-            return
-        before = set(self.cte_cache._lru)
-        self.cte_cache.fill(ppn)
-        evicted = before - set(self.cte_cache._lru)
-        for block in evicted:
-            self._llc_victims[block] = True
-            while len(self._llc_victims) > self._llc_victim_capacity:
-                self._llc_victims.popitem(last=False)
+        victim = self.cte_cache.fill(ppn)
+        if victim is not None and self.cte_victim_in_llc:
+            victims = self._llc_victims
+            victims[victim] = True
+            if len(victims) > self._llc_victim_capacity:
+                victims.popitem(last=False)
 
     def serve_writeback(self, ppn: int, block_index: int, now_ns: float) -> None:
         super().serve_writeback(ppn, block_index, now_ns)

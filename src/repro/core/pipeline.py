@@ -55,7 +55,7 @@ STAGE_EVICT = "evict"
 STAGE_EMERGENCY_EVICT = "emergency_evict"
 
 
-@dataclass
+@dataclass(slots=True)
 class StageSpan:
     """One stage's occurrence on a service timeline."""
 
@@ -85,7 +85,7 @@ class StageSpan:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceTimeline:
     """The evaluated pipeline: every stage's placement plus the total."""
 
@@ -270,7 +270,7 @@ def evaluate(node: NodeLike, start_ns: float = 0.0) -> ServiceTimeline:
 # ----------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class StageTotals:
     """Aggregated occurrences of one stage under one access path."""
 
@@ -318,6 +318,33 @@ class StageAccounting:
         self._path_total_ns[path] = (
             self._path_total_ns.get(path, 0.0) + timeline.total_ns
         )
+        self._path_count[path] = self._path_count.get(path, 0) + 1
+
+    def record_span(self, path: str, name: str, latency_ns: float,
+                    critical: bool, wasted: bool, slack_ns: float) -> None:
+        """Fast-path equivalent of one span's share of :meth:`record`.
+
+        Lets the zero-observer fast path aggregate without materializing
+        :class:`StageSpan`/:class:`ServiceTimeline` objects; pair with
+        :meth:`record_total` once per miss.
+        """
+        stages = self._paths.get(path)
+        if stages is None:
+            stages = self._paths[path] = {}
+        totals = stages.get(name)
+        if totals is None:
+            totals = stages[name] = StageTotals()
+        totals.count += 1
+        totals.total_ns += latency_ns
+        if critical:
+            totals.critical_ns += latency_ns
+        if wasted:
+            totals.wasted_ns += latency_ns
+        totals.slack_ns += slack_ns
+
+    def record_total(self, path: str, total_ns: float) -> None:
+        """The per-miss path totals of :meth:`record` (fast-path half)."""
+        self._path_total_ns[path] = self._path_total_ns.get(path, 0.0) + total_ns
         self._path_count[path] = self._path_count.get(path, 0) + 1
 
     # -- reading -------------------------------------------------------

@@ -31,7 +31,9 @@ from repro.core.base import (
 )
 from repro.core.config import SystemConfig
 from repro.core.pipeline import (
+    STAGE_CTE_FETCH,
     STAGE_CTE_REPAIR,
+    STAGE_DATA_FETCH,
     STAGE_SPEC_DATA_FETCH,
     PipelineNode,
     Stage,
@@ -60,6 +62,12 @@ class TMCCController(TwoLevelController):
         self.ptb_codec = PTBCodec()
         #: PTB physical address -> compressed shadow (None: incompressible).
         self._ptb_shadow: Dict[int, Optional[object]] = {}
+        #: PTB physical address -> (shadow, ((ppn, cte slot index), ...))
+        #: for its present PTEs.  Valid because the page table is static
+        #: while a simulation runs and a PTB's shadow object, truncated
+        #: PPNs, and capacity never change after ``_shadow_for`` -- only
+        #: ``cte_slots`` mutate, and those are re-read on every harvest.
+        self._ptb_harvest: Dict[int, tuple] = {}
         #: PPN -> (snapshot, owning PTB address); bounded FIFO (Figure 10).
         self._cte_buffer: "OrderedDict[int, Tuple[Optional[tuple], int]]" = (
             OrderedDict()
@@ -79,15 +87,31 @@ class TMCCController(TwoLevelController):
         """
         if ptes is None or huge_leaf:
             return
-        shadow = self._shadow_for(ptb_address, ptes)
-        for pte in ptes:
-            if not pte_present(pte):
-                continue
-            ppn = pte_ppn(pte)
-            embedded = None
-            if shadow is not None:
-                embedded = shadow.embedded_cte_for_ppn(ppn, self.ptb_codec.ppn_bits)
-            self._buffer_insert(ppn, embedded, ptb_address)
+        harvest = self._ptb_harvest.get(ptb_address)
+        if harvest is None:
+            shadow = self._shadow_for(ptb_address, ptes)
+            ppn_bits = self.ptb_codec.ppn_bits
+            pairs = []
+            for pte in ptes:
+                if not pte_present(pte):
+                    continue
+                ppn = pte_ppn(pte)
+                slot = None
+                if shadow is not None:
+                    slot = shadow.cte_slot_index(ppn, ppn_bits)
+                pairs.append((ppn, slot))
+            harvest = self._ptb_harvest[ptb_address] = (shadow, tuple(pairs))
+        shadow, pairs = harvest
+        slots = shadow.cte_slots if shadow is not None else None
+        buffer = self._cte_buffer
+        # Inlined _buffer_insert: one pop per insert, exactly as before.
+        for ppn, slot in pairs:
+            if ppn in buffer:
+                buffer.move_to_end(ppn)
+            buffer[ppn] = (slots[slot] if slot is not None else None,
+                           ptb_address)
+            if len(buffer) > CTE_BUFFER_ENTRIES:
+                buffer.popitem(last=False)
 
     def _shadow_for(self, ptb_address: int, ptes: List[int]):
         if ptb_address in self._ptb_shadow:
@@ -173,6 +197,80 @@ class TMCCController(TwoLevelController):
             Stage(STAGE_CTE_REPAIR, repair, record=False),
         )
         return pipeline, PATH_ML2 if cte.in_ml2 else PATH_PARALLEL_MISMATCH
+
+    def _translate_fast(self, ppn: int, cte: PageCTE, block_index: int,
+                        now_ns: float):
+        """Fast-path twin of :meth:`_translate_pipeline`.
+
+        Winner/slack bookkeeping replicates ``_Parallel._evaluate``: the
+        first maximal branch wins (``max``/``index`` semantics), losing
+        branches drop to non-critical, and their hidden completion time
+        lands on the branch's last recorded span.
+        """
+        entry = self._cte_buffer.get(ppn)
+        if entry is None or entry[0] is None:
+            return super()._translate_fast(ppn, cte, block_index, now_ns)
+
+        snapshot, ptb_address = entry
+        in_ml2 = cte.in_ml2
+        if snapshot == self._snapshot(ppn):
+            cte_lat = self._fetch_cte_fast(ppn, now_ns)
+            if in_ml2:
+                data_spans, data_dur = self._ml2_fast(ppn, cte, now_ns)
+                path = PATH_ML2
+            else:
+                data_dur = self._dram_read_fast(
+                    self._data_address(ppn, block_index), now_ns)
+                data_spans = ((STAGE_DATA_FETCH, data_dur, True, False, 0.0),)
+                path = PATH_PARALLEL_OK
+            if cte_lat >= data_dur:  # ties go to the first branch, like max()
+                duration = cte_lat
+                slack = duration - data_dur
+                spans = [(STAGE_CTE_FETCH, cte_lat, True, False, 0.0)]
+                last = len(data_spans) - 1
+                for index, (name, lat, _critical, wasted, span_slack) in \
+                        enumerate(data_spans):
+                    if index == last and slack > 0.0:
+                        span_slack += slack
+                    spans.append((name, lat, False, wasted, span_slack))
+            else:
+                duration = data_dur
+                slack = duration - cte_lat
+                spans = [(STAGE_CTE_FETCH, cte_lat, False, False,
+                          slack if slack > 0.0 else 0.0)]
+                spans.extend(data_spans)
+            return spans, duration, path
+
+        # Mismatch: parallel(cte, wasted spec read) then the real data
+        # access, then the lazy repair (record=False, zero latency).
+        cte_lat = self._fetch_cte_fast(ppn, now_ns)
+        spec_lat = self._dram_read_fast(
+            snapshot[0] * 4096 + block_index * 64, now_ns)
+        if cte_lat >= spec_lat:
+            head_dur = cte_lat
+            slack = head_dur - spec_lat
+            head = [(STAGE_CTE_FETCH, cte_lat, True, False, 0.0),
+                    (STAGE_SPEC_DATA_FETCH, spec_lat, False, True,
+                     slack if slack > 0.0 else 0.0)]
+        else:
+            head_dur = spec_lat
+            slack = head_dur - cte_lat
+            head = [(STAGE_CTE_FETCH, cte_lat, False, False,
+                     slack if slack > 0.0 else 0.0),
+                    (STAGE_SPEC_DATA_FETCH, spec_lat, True, True, 0.0)]
+        base_ns = now_ns + head_dur
+        if in_ml2:
+            data_spans, data_dur = self._ml2_fast(ppn, cte, base_ns)
+            path = PATH_ML2
+        else:
+            data_dur = self._dram_read_fast(
+                self._data_address(ppn, block_index), base_ns)
+            data_spans = ((STAGE_DATA_FETCH, data_dur, True, False, 0.0),)
+            path = PATH_PARALLEL_MISMATCH
+        head.extend(data_spans)
+        self._repair_embedded(ppn, ptb_address)
+        self.stats.counter("embedded_mismatches").value += 1
+        return head, head_dur + data_dur, path
 
     def _repair_embedded(self, ppn: int, ptb_address: int) -> None:
         """Piggybacked-response repair (Section V-A3, last paragraph)."""

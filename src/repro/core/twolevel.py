@@ -21,6 +21,7 @@ from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRNG
 from repro.common.units import BLOCK_SIZE, PAGE_SIZE
 from repro.core.base import (
+    _DATA_FETCH_NS_KEY,
     MemoryController,
     MissResult,
     PATH_CTE_HIT,
@@ -29,6 +30,7 @@ from repro.core.base import (
 )
 from repro.core.pipeline import (
     STAGE_CTE_FETCH,
+    STAGE_DATA_FETCH,
     STAGE_DECOMPRESS,
     STAGE_EMERGENCY_EVICT,
     STAGE_EVICT,
@@ -274,6 +276,116 @@ class TwoLevelController(MemoryController):
             defer(lambda start_ns: self._ml2_pipeline(ppn, cte, start_ns)),
             self._data_fetch_stage(ppn, block_index),
         )
+
+    # ------------------------------------------------------------------
+    # Zero-observer fast path (mirrors _serve_l3_miss; see base.py)
+    # ------------------------------------------------------------------
+
+    def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
+                           is_write: bool = False):
+        self.stats.counter("l3_misses").value += 1
+        cte = self._cte.get(ppn)
+        if cte is None:  # page unknown to the controller (e.g. I/O space)
+            latency = self._dram_read_fast(
+                self._data_address(ppn, block_index), now_ns)
+            self.stats.histogram("miss_latency_ns").samples.append(latency)
+            accounting = self.stage_accounting
+            accounting.record_span(PATH_CTE_HIT, STAGE_DATA_FETCH, latency,
+                                   True, False, 0.0)
+            accounting.record_total(PATH_CTE_HIT, latency)
+            self.stage_stats.histogram(
+                _DATA_FETCH_NS_KEY).samples.append(latency)
+            return latency, PATH_CTE_HIT
+
+        cache = self.cte_cache
+        block = ppn // cache.pages_per_block
+        lru = cache._lru
+        cache_hit = block in lru
+        cache_stats = cache.stats
+        cache_stats.total += 1
+        if cache_hit:
+            cache_stats.hits += 1
+            lru.move_to_end(block)
+            if cte.in_ml2:
+                spans, total = self._ml2_fast(ppn, cte, now_ns)
+                path = PATH_ML2
+            else:
+                total = self._dram_read_fast(
+                    self._data_address(ppn, block_index), now_ns)
+                spans = ((STAGE_DATA_FETCH, total, True, False, 0.0),)
+                path = PATH_CTE_HIT
+        else:
+            spans, total, path = self._translate_fast(ppn, cte, block_index,
+                                                      now_ns)
+            # cte_cache.fill(), inlined; re-check presence because the
+            # eviction pump may have invalidated neighbours of ``block``
+            # during the pipeline side effects above.
+            if block in lru:
+                lru.move_to_end(block)
+            else:
+                if len(lru) >= cache.capacity_blocks:
+                    lru.popitem(last=False)
+                lru[block] = True
+
+        if not cte.in_ml2 and not cte.is_incompressible:
+            self.recency.on_access(ppn)
+        self._finish_fast(path, spans, total)
+        return total, path
+
+    def _translate_fast(self, ppn: int, cte: PageCTE, block_index: int,
+                        now_ns: float):
+        """Serial CTE fetch then data; returns ``(spans, total_ns, path)``."""
+        if cte.in_ml2:
+            cte_lat = self._fetch_cte_fast(ppn, now_ns)
+            ml2_spans, ml2_total = self._ml2_fast(ppn, cte, now_ns + cte_lat)
+            spans = ((STAGE_CTE_FETCH, cte_lat, True, False, 0.0),) + ml2_spans
+            return spans, cte_lat + ml2_total, PATH_ML2
+        cte_lat = self._fetch_cte_fast(ppn, now_ns)
+        data_lat = self._dram_read_fast(
+            self._data_address(ppn, block_index), now_ns + cte_lat)
+        spans = ((STAGE_CTE_FETCH, cte_lat, True, False, 0.0),
+                 (STAGE_DATA_FETCH, data_lat, True, False, 0.0))
+        return spans, cte_lat + data_lat, PATH_SERIAL_NO_CTE
+
+    def _fetch_cte_fast(self, ppn: int, now_ns: float) -> float:
+        self.stats.counter("cte_dram_fetches").value += 1
+        return self._dram_read_fast(
+            self._cte_address(ppn, CTE_SIZE_PAGE), now_ns, include_noc=False)
+
+    def _ml2_fast(self, ppn: int, cte: PageCTE, start_ns: float):
+        """ML2 service without the pipeline graph; ``(spans, total_ns)``.
+
+        Side-effect order matches :meth:`_ml2_pipeline` evaluation: page
+        stream reserved with the first read, migration-buffer entry
+        claimed at the access's arrival time, migrate, then the eviction
+        pump.  The ``migrate`` stage is ``record=False`` in the slow
+        path, so it contributes no span here either.
+        """
+        record = self._model.record_for(ppn)
+        self.stats.counter("ml2_accesses").value += 1
+        compressed_blocks = -(-cte.compressed_size // BLOCK_SIZE)
+        decompress_ns = self._decompress_half_ns(record)
+        migration_ns = self._decompress_full_ns(record) + 64 * \
+            self.dram.config.timing.burst_ns
+        base_address = self._data_address(ppn, 0)
+        first_read = self._dram_read_fast(base_address, start_ns)
+        self.dram.stream(base_address, compressed_blocks - 1, start_ns)
+        stall_ns = self.migration.reserve(start_ns, migration_ns).stall_ns
+        total = first_read + decompress_ns + stall_ns
+        self._migrate_to_ml1(ppn, cte, start_ns + total)
+        eviction_ns = self._maybe_evict(start_ns + total)
+        if self.ml1_free.count < self.config.ml1_critical_watermark:
+            self.stats.counter("priority_flips").value += 1
+            evict_lat = eviction_ns
+        else:
+            evict_lat = 0.0
+        spans = (
+            (STAGE_ML2_READ, first_read, True, False, 0.0),
+            (STAGE_DECOMPRESS, decompress_ns, True, False, 0.0),
+            (STAGE_MIGRATION_STALL, stall_ns, True, False, 0.0),
+            (STAGE_EVICT, evict_lat, True, False, 0.0),
+        )
+        return spans, total + evict_lat
 
     # ------------------------------------------------------------------
     # ML2 access: decompress + background migration to ML1

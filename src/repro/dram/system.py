@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.stats import StatGroup
+from repro.common.stats import Counter, Histogram, RatioStat, StatGroup
 from repro.dram.interleave import InterleavePolicy, SUBPAGE_EVERYWHERE
 from repro.dram.timing import DDR4Timing
 
@@ -48,7 +48,7 @@ class DRAMConfig:
     channel_write_penalty: float = 2.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bank:
     open_row: int = -1
     consecutive_hits: int = 0
@@ -68,7 +68,7 @@ class _Bank:
         return wait
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResult:
     """Latency breakdown of one 64 B read.
 
@@ -84,7 +84,7 @@ class ReadResult:
     channel: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamResult:
     """Bus-occupancy record of one multi-block sequential transfer."""
 
@@ -114,6 +114,30 @@ class DRAMSystem:
             [0.0, 0.0] for _ in range(total_channels)
         ]
         self.stats = StatGroup("dram")
+        #: With one MC and one channel the interleave route is the
+        #: identity, so the fast read skips address decomposition.
+        self._single_channel = total_channels == 1
+        #: Bound per-channel busy counters and read stats, filled lazily so
+        #: stat keys only exist once the matching request type happened.
+        self._busy_counters: Dict[int, Counter] = {}
+        self._read_stats: Optional[Tuple[Counter, RatioStat, Histogram]] = None
+
+    def _bank_at(self, channel_index: int, bank_key: Tuple[int, int]) -> _Bank:
+        """Get-or-create without ``setdefault`` (which would allocate a
+        throwaway :class:`_Bank` on every call)."""
+        banks = self._banks[channel_index]
+        bank = banks.get(bank_key)
+        if bank is None:
+            bank = banks[bank_key] = _Bank()
+        return bank
+
+    def _busy_counter(self, channel_index: int) -> Counter:
+        counter = self._busy_counters.get(channel_index)
+        if counter is None:
+            counter = self._busy_counters[channel_index] = self.stats.counter(
+                f"channel{channel_index}_busy_ns"
+            )
+        return counter
 
     def _enqueue(self, channel_index: int, now_ns: float,
                  service_ns: float) -> float:
@@ -156,7 +180,7 @@ class DRAMSystem:
         timing = config.timing
         mc, channel_index, local = self._route(address)
         bank_key, row = self._bank_and_row(local)
-        bank = self._banks[channel_index].setdefault(bank_key, _Bank())
+        bank = self._bank_at(channel_index, bank_key)
 
         # Row-buffer outcome, including the FR-FCFS row-access cap.
         if bank.open_row == row and bank.consecutive_hits < config.row_cap:
@@ -177,13 +201,82 @@ class DRAMSystem:
         bank_wait = bank.occupy(now_ns, bank_ns)
         latency = queue_ns + bank_wait + bank_ns + timing.noc_ns
 
-        self.stats.counter("reads").increment()
-        self.stats.ratio("row_buffer").record(row_hit)
-        self.stats.histogram("read_latency_ns").record(latency)
-        self.stats.counter(f"channel{channel_index}_busy_ns").increment(
-            int(timing.burst_ns * 1000)
-        )
+        self._record_read(channel_index, latency, row_hit,
+                          int(timing.burst_ns * 1000))
         return ReadResult(latency, queue_ns, bank_ns, row_hit, mc, channel_index)
+
+    def _record_read(self, channel_index: int, latency: float, row_hit: bool,
+                     busy_m: int) -> None:
+        stats = self._read_stats
+        if stats is None:
+            stats = self._read_stats = (
+                self.stats.counter("reads"),
+                self.stats.ratio("row_buffer"),
+                self.stats.histogram("read_latency_ns"),
+            )
+        reads, row_buffer, latency_hist = stats
+        reads.value += 1
+        row_buffer.total += 1
+        if row_hit:
+            row_buffer.hits += 1
+        latency_hist.samples.append(latency)
+        self._busy_counter(channel_index).value += busy_m
+
+    def read_ns(self, address: int, now_ns: float) -> float:
+        """Zero-observer fast read: identical bank/queue/stat updates to
+        :meth:`read`, but returns only the total latency and allocates no
+        :class:`ReadResult`.  Must stay metric-identical to :meth:`read`
+        (see ``docs/performance.md``)."""
+        config = self.config
+        timing = config.timing
+        if self._single_channel:
+            channel_index = 0
+            local = address
+        else:
+            _, channel_index, local = self._route(address)
+        row = local // config.row_size
+        bank_key = (
+            ((local >> 13) ^ (local >> 17)) % config.ranks_per_channel,
+            ((local >> 15) ^ (local >> 19)) % config.banks_per_rank,
+        )
+        banks = self._banks[channel_index]
+        bank = banks.get(bank_key)
+        if bank is None:
+            bank = banks[bank_key] = _Bank()
+
+        if bank.open_row == row and bank.consecutive_hits < config.row_cap:
+            bank_ns = timing.row_hit_ns
+            bank.consecutive_hits += 1
+            row_hit = True
+        elif bank.open_row == -1:
+            bank_ns = timing.row_closed_ns
+            bank.consecutive_hits = 1
+            row_hit = False
+        else:
+            bank_ns = timing.row_conflict_ns
+            bank.consecutive_hits = 1
+            row_hit = False
+        bank.open_row = row
+
+        state = self._backlog[channel_index]
+        if now_ns > state[0]:
+            drained = state[1] - (now_ns - state[0])
+            state[1] = drained if drained > 0.0 else 0.0
+            state[0] = now_ns
+        queue_ns = state[1]
+        state[1] = queue_ns + timing.burst_ns
+
+        if now_ns > bank.last_ns:
+            drained = bank.backlog_ns - (now_ns - bank.last_ns)
+            bank.backlog_ns = drained if drained > 0.0 else 0.0
+            bank.last_ns = now_ns
+        bank_wait = bank.backlog_ns
+        bank.backlog_ns = bank_wait + bank_ns
+
+        latency = queue_ns + bank_wait + bank_ns + timing.noc_ns
+        self._record_read(channel_index, latency, row_hit,
+                          int(timing.burst_ns * 1000))
+        return latency
 
     def write(self, address: int, now_ns: float) -> None:
         """Post a 64 B write; consumes bus time but returns immediately."""
@@ -191,7 +284,7 @@ class DRAMSystem:
         timing = config.timing
         _, channel_index, local = self._route(address)
         bank_key, row = self._bank_and_row(local)
-        bank = self._banks[channel_index].setdefault(bank_key, _Bank())
+        bank = self._bank_at(channel_index, bank_key)
         if bank.open_row != row:
             bank.consecutive_hits = 0
         bank.open_row = row
@@ -202,9 +295,7 @@ class DRAMSystem:
         self._enqueue(channel_index, now_ns, occupancy)
 
         self.stats.counter("writes").increment()
-        self.stats.counter(f"channel{channel_index}_busy_ns").increment(
-            int(occupancy * 1000)
-        )
+        self._busy_counter(channel_index).value += int(occupancy * 1000)
 
     # ------------------------------------------------------------------
     # Streaming transfers (page migrations, compressed-page reads)
@@ -229,9 +320,7 @@ class DRAMSystem:
         queue_ns = self._enqueue(channel_index, now_ns, occupancy)
         counter = "stream_writes" if is_write else "stream_reads"
         self.stats.counter(counter).increment(num_blocks)
-        self.stats.counter(f"channel{channel_index}_busy_ns").increment(
-            int(occupancy * 1000)
-        )
+        self._busy_counter(channel_index).value += int(occupancy * 1000)
         return StreamResult(occupancy, queue_ns, num_blocks, channel_index,
                             is_write)
 

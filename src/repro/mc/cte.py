@@ -125,7 +125,12 @@ class CompressoCTE:
             raise ValueError(f"block index {block_index} out of page")
         if not self.chunks:
             return None
-        offset = sum(self.block_sizes[:block_index])
+        # Prefix sum without the list-slice copy; this runs once per
+        # Compresso LLC miss.
+        offset = 0
+        sizes = self.block_sizes
+        for i in range(block_index):
+            offset += sizes[i]
         chunk_index = offset // chunk_size
         if chunk_index >= len(self.chunks):
             return None

@@ -57,16 +57,23 @@ class CTECache:
         """Probe without recording a stat."""
         return self._block_of(ppn) in self._lru
 
-    def fill(self, ppn: int) -> None:
+    def fill(self, ppn: int) -> "int | None":
         """Cache the CTE block covering ``ppn`` (MC always caches fetched
-        CTEs -- Section VII explains why this matters for TLB hits)."""
-        block = self._block_of(ppn)
-        if block in self._lru:
-            self._lru.move_to_end(block)
-            return
-        if len(self._lru) >= self.capacity_blocks:
-            self._lru.popitem(last=False)
-        self._lru[block] = True
+        CTEs -- Section VII explains why this matters for TLB hits).
+
+        Returns the evicted CTE block id, or ``None`` when nothing left
+        the cache (so victim-spill schemes need no set difference).
+        """
+        lru = self._lru
+        block = ppn // self.pages_per_block
+        if block in lru:
+            lru.move_to_end(block)
+            return None
+        victim = None
+        if len(lru) >= self.capacity_blocks:
+            victim, _ = lru.popitem(last=False)
+        lru[block] = True
+        return victim
 
     def invalidate_page(self, ppn: int) -> None:
         self._lru.pop(self._block_of(ppn), None)

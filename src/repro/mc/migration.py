@@ -15,7 +15,7 @@ from typing import List
 from repro.common.stats import Counter, Histogram
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrationGrant:
     """One granted buffer entry, with its stage costs broken out.
 

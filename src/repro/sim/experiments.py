@@ -33,15 +33,21 @@ def run_workload(
     seed: int = 1,
     model: Optional[PageCompressionModel] = None,
     cores: int = 1,
+    fast_path: str = "auto",
 ) -> SimResult:
     """Run one (workload, controller) configuration end to end.
 
     ``cores > 1`` routes through the multi-core engine (Table III's
     4-core configuration); huge pages are a single-core-only knob.
+    ``fast_path`` is the :class:`Simulator` knob (auto/on/off); the
+    multi-core engine is never fast-path eligible (the cores share an
+    event bus), so ``"on"`` with ``cores > 1`` is rejected.
     """
     if cores > 1:
         if huge_pages:
             raise ValueError("huge_pages is only supported with cores=1")
+        if fast_path == "on":
+            raise ValueError("fast_path='on' is only supported with cores=1")
         from repro.sim.multicore import MultiCoreSimulator
 
         return MultiCoreSimulator(
@@ -61,6 +67,7 @@ def run_workload(
         huge_pages=huge_pages,
         seed=seed,
         model=model,
+        fast_path=fast_path,
     )
     return simulator.run()
 

@@ -1,0 +1,261 @@
+"""The zero-observer fast replay loop (``docs/performance.md``).
+
+:func:`run_fast` replays a workload trace with state transitions
+identical to ``Simulator.run`` + ``Simulator._one_access`` -- same stat
+mutations, same RNG draw sequence, same DRAM bank/queue evolution, same
+float accumulation order -- but with every observer hook removed and the
+per-access object graph (``AccessResult``, ``MissResult``,
+``ServiceTimeline``, ``ReadResult``) elided:
+
+* the trace is preprocessed column-wise (vpn / TLB tag / block index
+  arrays via numpy when available);
+* TLB lookup/fill and the cache hierarchy run through inlined or
+  allocation-free twins (``CacheHierarchy.access_fast``,
+  ``MemoryController.serve_l3_miss_fast``);
+* every invariant attribute lookup is hoisted out of the loop into a
+  bound local, and cache-level latencies are precomputed per hit level.
+
+Eligibility is gated by ``Simulator.fast_path_eligible`` (no tracer,
+timeseries recorder, profiler, fault injector, supervisor, bus
+subscriber, resilience, or virtualization).  The ``--emit-json``
+byte-equality golden (fast on vs off, all controllers) pins the
+contract: if the two loops ever diverge observably, that is a bug in
+this module.
+"""
+
+from __future__ import annotations
+
+try:  # numpy ships with the toolchain; fall back to pure python anyway
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.core.base import MemoryController, PATH_CTE_HIT
+
+
+def _columns(trace, huge_pages: bool):
+    """Split the trace into (vpns, tags, block_indices, writes) columns."""
+    if _np is not None:
+        try:
+            vaddrs = _np.fromiter((record[0] for record in trace),
+                                  dtype=_np.int64, count=len(trace))
+        except OverflowError:  # addresses beyond int64: rare, stay portable
+            vaddrs = None
+        if vaddrs is not None:
+            vpns = (vaddrs >> 12).tolist()
+            tags = (vaddrs >> 21).tolist() if huge_pages else vpns
+            blocks = ((vaddrs & 0xFFF) >> 6).tolist()
+            writes = [record[1] for record in trace]
+            return vpns, tags, blocks, writes
+    vpns = [record[0] >> 12 for record in trace]
+    tags = [vpn >> 9 for vpn in vpns] if huge_pages else vpns
+    blocks = [(record[0] & 0xFFF) >> 6 for record in trace]
+    writes = [record[1] for record in trace]
+    return vpns, tags, blocks, writes
+
+
+def run_fast(sim, state) -> None:
+    """Run ``sim``'s trace replay loop from ``state`` to completion.
+
+    Mutates the same simulator state the slow loop would (clock, run
+    progress, sim counters, every component) and returns nothing; the
+    caller builds the result exactly as for a slow run.
+    """
+    trace = sim.workload.trace
+    n = len(trace)
+    config = sim.system
+    compute_ns = config.cycles_to_ns(sim.workload.compute_cycles_per_access)
+    mlp = config.mlp_stall_factor
+
+    # Per-hit-level stall latencies: same integer cycle counts as the
+    # slow path feeds cycles_to_ns, so the floats are bit-identical.
+    cache_config = sim.hierarchy.config
+    l1_cycles = cache_config.l1_latency
+    l2_cycles = l1_cycles + cache_config.l2_latency
+    l3_cycles = l2_cycles + cache_config.l3_latency
+    lat = (config.cycles_to_ns(l1_cycles), config.cycles_to_ns(l2_cycles),
+           config.cycles_to_ns(l3_cycles), config.cycles_to_ns(l3_cycles))
+
+    huge_pages = sim.huge_pages
+    vpns, tags, blocks, writes = _columns(trace, huge_pages)
+
+    # Hoisted hot references (the slow loop re-resolves these per access).
+    tlb = sim.tlb
+    tlb_lru = tlb._lru
+    tlb_move = tlb_lru.move_to_end
+    tlb_entries = tlb.entries
+    tlb_stats = tlb.stats
+    controller = sim.controller
+    serve_fast = controller.serve_l3_miss_fast
+    serve_writeback = controller.serve_writeback
+    hierarchy = sim.hierarchy
+    access_fast = hierarchy.access_fast
+    access_miss = hierarchy.access_fast_miss
+    # The L1 probe of the demand-access path is inlined below; these are
+    # its ingredients (CacheHierarchy.access_fast, first half).
+    prefetch_on = hierarchy.config.enable_prefetch
+    nl_outstanding = hierarchy._next_line._outstanding
+    l1_sets = hierarchy.l1._sets
+    l1_mask = hierarchy.l1.num_sets - 1
+    l1_stats = hierarchy.l1.stats
+    lat_l1 = lat[0]
+    walker = sim.walker
+    walks_counter = walker.walks
+    ptb_fetches_counter = walker.ptb_fetches
+    pwc_first = walker.pwc.first_fetch_level
+    pwc_fill = walker.pwc.fill
+    walk_path = sim.table.walk_path
+    table_ptb_at = sim.table.ptb_at
+    # vpn -> ((level, ptb address) pairs, huge) | None for unmapped vpns.
+    # The page table is static while a run is in flight, so the walk path
+    # (PageWalker.walk minus its dynamic PWC interaction) memoizes; the
+    # PWC start level, its LRU/stat updates, and the walker counters are
+    # still replayed per walk.
+    walk_cache: dict = {}
+    note_ptb = controller.note_ptb_fetch
+    # Base-class note_ptb_fetch is a no-op and table.ptb_at is side-effect
+    # free, so both calls are skipped for controllers that don't harvest
+    # embedded CTEs (everything but TMCC).
+    do_note = (type(controller).note_ptb_fetch
+               is not MemoryController.note_ptb_fetch)
+    translate = sim._translate_vpn
+    vpn_to_ppn_get = sim._vpn_to_ppn.get
+    reset_stats = sim._reset_stats
+    clock = sim.clock
+    writebacks: list = []
+
+    now = clock.now_ns
+    index = state.index
+    warmup_end = state.warmup_end
+    measured = state.measured
+    tlb_misses = sim._tlb_misses
+    l3_data_misses = sim._l3_data_misses
+    fig5_cte_misses = sim._fig5_cte_misses
+    fig5_after_tlb = sim._fig5_after_tlb
+
+    try:
+        while index < n:
+            if index == warmup_end:
+                reset_stats()
+                tlb_misses = 0
+                l3_data_misses = 0
+                fig5_cte_misses = 0
+                fig5_after_tlb = 0
+                state.measure_start_ns = now
+            now += compute_ns
+
+            vpn = vpns[index]
+            tag = tags[index]
+            stall = 0.0
+
+            # -- TLB lookup (TLB.lookup + TLB.fill, inlined) ------------
+            tlb_stats.total += 1
+            if tag in tlb_lru:
+                tlb_stats.hits += 1
+                tlb_move(tag)
+                tlb_missed = False
+            else:
+                tlb_missed = True
+                tlb_misses += 1
+                # -- page walk (Simulator._page_walk + PageWalker.walk,
+                # inlined with the static walk path memoized) -----------
+                walks_counter.value += 1
+                if vpn in walk_cache:
+                    cached = walk_cache[vpn]
+                else:
+                    try:
+                        path = walk_path(vpn)
+                    except KeyError:
+                        cached = walk_cache[vpn] = None
+                    else:
+                        cached = walk_cache[vpn] = (
+                            tuple((lvl, addr) for lvl, addr, _ in path),
+                            path[-1][0] == 2,
+                        )
+                if cached is not None:
+                    path_pairs, walk_huge = cached
+                    start_level = pwc_first(vpn)
+                    fetches = [pair for pair in path_pairs
+                               if pair[0] <= start_level]
+                    ptb_fetches_counter.value += len(fetches)
+                    pwc_fill(vpn)
+                    for level, ptb_address in fetches:
+                        del writebacks[:]
+                        hit_level = access_fast(ptb_address >> 6, False,
+                                                True, writebacks)
+                        stall += lat[hit_level]
+                        if hit_level == 3:
+                            latency, path = serve_fast(
+                                ptb_address >> 12, (ptb_address >> 6) & 63,
+                                now + stall, False)
+                            stall += latency
+                            if path != PATH_CTE_HIT:
+                                fig5_cte_misses += 1
+                                fig5_after_tlb += 1
+                        if writebacks:
+                            drain_at = now + stall
+                            for block in writebacks:
+                                serve_writeback(block >> 6, block & 63,
+                                                drain_at)
+                        if do_note:
+                            note_ptb(level, ptb_address,
+                                     table_ptb_at(ptb_address),
+                                     walk_huge and level == 2)
+                if tag in tlb_lru:
+                    tlb_move(tag)
+                    tlb_lru[tag] = 0
+                else:
+                    if len(tlb_lru) >= tlb_entries:
+                        tlb_lru.popitem(last=False)
+                    tlb_lru[tag] = 0
+
+            # -- data access (Simulator._one_access tail, inlined; the
+            # L1-hit case is CacheHierarchy.access_fast unrolled) --------
+            ppn = translate(vpn) if huge_pages else vpn_to_ppn_get(vpn)
+            if ppn is not None:
+                block_index = blocks[index]
+                is_write = writes[index]
+                block = ppn * 64 + block_index
+                if prefetch_on and block in nl_outstanding:
+                    nl_outstanding[block] = True
+                l1_entries = l1_sets[block & l1_mask]
+                line = l1_entries.get(block)
+                l1_stats.total += 1
+                if line is not None:
+                    l1_stats.hits += 1
+                    l1_entries.move_to_end(block)
+                    if is_write:
+                        line.dirty = True
+                    stall += lat_l1
+                else:
+                    del writebacks[:]
+                    hit_level = access_miss(block, is_write, False,
+                                            writebacks)
+                    stall += lat[hit_level]
+                    if hit_level == 3:
+                        l3_data_misses += 1
+                        latency, path = serve_fast(ppn, block_index,
+                                                   now + stall, is_write)
+                        stall += latency
+                        if path != PATH_CTE_HIT:
+                            fig5_cte_misses += 1
+                            if tlb_missed:
+                                fig5_after_tlb += 1
+                    if writebacks:
+                        drain_at = now + stall
+                        for block in writebacks:
+                            serve_writeback(block >> 6, block & 63, drain_at)
+
+            now += stall * mlp
+            if index >= warmup_end:
+                measured += 1
+            index += 1
+    finally:
+        # Flush loop-local state back onto the simulator, also on error.
+        clock.now_ns = now
+        state.index = index
+        state.measured = measured
+        sim._tlb_misses = tlb_misses
+        sim._l3_data_misses = l3_data_misses
+        sim._fig5_cte_misses = fig5_cte_misses
+        sim._fig5_after_tlb = fig5_after_tlb

@@ -78,12 +78,19 @@ class Simulator:
         context: Optional[SimContext] = None,
         fault_plan: Optional[FaultPlan] = None,
         resilience: bool = False,
+        fast_path: str = "auto",
     ) -> None:
         if controller not in CONTROLLER_REGISTRY:
             raise ValueError(f"unknown controller {controller!r}; "
                              f"choose from {CONTROLLER_REGISTRY.names()}")
         if virtualized and huge_pages:
             raise ValueError("virtualized mode models 4 KB guest pages only")
+        if fast_path not in ("auto", "on", "off"):
+            raise ValueError(f"fast_path must be 'auto', 'on', or 'off', "
+                             f"got {fast_path!r}")
+        #: Zero-observer loop selection: "auto" uses it whenever eligible,
+        #: "on" demands it (ConfigError otherwise), "off" never uses it.
+        self.fast_path = fast_path
         self.context = context or SimContext(system, seed)
         self.workload = workload
         self.controller_name = controller
@@ -335,6 +342,22 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------
 
+    def fast_path_eligible(self) -> bool:
+        """True when no observer could distinguish the fast/slow loops.
+
+        The zero-observer loop (:mod:`repro.sim.fastpath`) elides the
+        per-access object graph and every instrumentation hook; it is
+        only sound when nothing is listening and nothing perturbs the
+        replay (fault injection, resilience retries, nested walks).
+        """
+        return (self.tracer is None
+                and self.timeseries is None
+                and self.context.profiler is None
+                and self._fault_injector is None
+                and not self.controller.resilience.enabled
+                and not self.context.bus.active
+                and not self.virtualized)
+
     def run(self, warmup_fraction: float = 0.2,
             supervisor=None) -> SimResult:
         """Replay the trace; statistics cover the post-warmup region.
@@ -345,6 +368,10 @@ class Simulator:
         its wall-clock watchdog fires.  A simulator restored from a
         checkpoint resumes exactly where it stopped: the loop position
         rides on the object as :class:`RunProgress`.
+
+        With ``fast_path`` "auto" (the default) an unobserved,
+        unsupervised run takes the zero-observer loop instead -- same
+        results, bit for bit, at a fraction of the host cost.
         """
         trace = self.workload.trace
         state = self._run_state
@@ -359,42 +386,66 @@ class Simulator:
         profiler = self.context.profiler
         stop_reason = None
 
-        try:
-            while state.index < len(trace):
-                if supervisor is not None:
-                    stop_reason = supervisor.on_access(self, state)
-                    if stop_reason is not None:
-                        break
-                index = state.index
-                vaddr, is_write = trace[index]
-                if index == state.warmup_end:
-                    self._reset_stats()
-                    state.measure_start_ns = self.clock.now_ns
-                if injector is not None:
-                    injector.tick(index, self.clock.now_ns)
-                self.clock.advance(compute_ns)
-                if tracer is not None:
-                    tracer.begin_access(self.clock.now_ns, index=index,
-                                        vaddr=vaddr, write=is_write)
-                if profiler is None:
-                    stall_ns = self._one_access(vaddr, is_write)
-                else:
-                    profiler.begin("sim.access")
-                    try:
-                        stall_ns = self._one_access(vaddr, is_write)
-                    finally:
-                        profiler.end()
-                if tracer is not None:
-                    tracer.end_access(self.clock.now_ns + stall_ns)
-                self.clock.advance(stall_ns * config.mlp_stall_factor)
-                if timeseries is not None:
-                    timeseries.maybe_sample(self.clock.now_ns)
-                if index >= state.warmup_end:
-                    state.measured += 1
-                state.index += 1
+        use_fast = (self.fast_path != "off" and supervisor is None
+                    and self.fast_path_eligible())
+        if self.fast_path == "on" and not use_fast:
+            from repro.common.errors import ConfigError
 
-            if timeseries is not None:
-                timeseries.finish(self.clock.now_ns)
+            raise ConfigError(
+                "fast_path='on' requires a zero-observer run: no tracer, "
+                "timeseries recorder, profiler, fault injector, run "
+                "supervisor, bus subscriber, resilience mode, or "
+                "virtualization"
+            )
+
+        try:
+            if use_fast:
+                from repro.sim.fastpath import run_fast
+
+                run_fast(self, state)
+            else:
+                # Invariant references hoisted out of the loop body; the
+                # fast path goes further (see repro/sim/fastpath.py).
+                clock = self.clock
+                one_access = self._one_access
+                warmup_end = state.warmup_end
+                mlp = config.mlp_stall_factor
+                trace_len = len(trace)
+                while state.index < trace_len:
+                    if supervisor is not None:
+                        stop_reason = supervisor.on_access(self, state)
+                        if stop_reason is not None:
+                            break
+                    index = state.index
+                    vaddr, is_write = trace[index]
+                    if index == warmup_end:
+                        self._reset_stats()
+                        state.measure_start_ns = clock.now_ns
+                    if injector is not None:
+                        injector.tick(index, clock.now_ns)
+                    clock.advance(compute_ns)
+                    if tracer is not None:
+                        tracer.begin_access(clock.now_ns, index=index,
+                                            vaddr=vaddr, write=is_write)
+                    if profiler is None:
+                        stall_ns = one_access(vaddr, is_write)
+                    else:
+                        profiler.begin("sim.access")
+                        try:
+                            stall_ns = one_access(vaddr, is_write)
+                        finally:
+                            profiler.end()
+                    if tracer is not None:
+                        tracer.end_access(clock.now_ns + stall_ns)
+                    clock.advance(stall_ns * mlp)
+                    if timeseries is not None:
+                        timeseries.maybe_sample(clock.now_ns)
+                    if index >= warmup_end:
+                        state.measured += 1
+                    state.index += 1
+
+                if timeseries is not None:
+                    timeseries.finish(self.clock.now_ns)
         finally:
             # Flush/close owned writers even when the loop dies early, so
             # --trace-events files are never left truncated and unflushed.

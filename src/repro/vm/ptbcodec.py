@@ -47,25 +47,39 @@ class CompressedPTB:
     truncated_ppns: List[int]
     cte_slots: List[Optional[int]] = field(default_factory=lambda: [None] * PTES_PER_PTB)
     cte_capacity: int = PTES_PER_PTB
+    #: Lazy first-occurrence index over ``truncated_ppns`` (which are
+    #: immutable after construction); rebuilt never, compared never.
+    _slot_index: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def cte_slot_index(self, ppn: int, ppn_bits: int) -> Optional[int]:
+        """The slot holding ``ppn``'s embedded CTE, or ``None``.
+
+        First-occurrence semantics: with duplicate truncated PPNs the
+        lowest slot wins, and a match at or beyond ``cte_capacity`` has
+        no usable slot (later duplicates sit even further out).
+        """
+        index = self._slot_index
+        if index is None:
+            index = self._slot_index = {}
+            for position in range(len(self.truncated_ppns) - 1, -1, -1):
+                index[self.truncated_ppns[position]] = position
+        slot = index.get(ppn & ((1 << ppn_bits) - 1))
+        if slot is None or slot >= self.cte_capacity:
+            return None
+        return slot
 
     def embedded_cte_for_ppn(self, ppn: int, ppn_bits: int) -> Optional[int]:
         """Look up the embedded CTE for a full PPN, if this PTB has one."""
-        low_mask = (1 << ppn_bits) - 1
-        for index, truncated in enumerate(self.truncated_ppns):
-            if truncated == (ppn & low_mask) and index < self.cte_capacity:
-                return self.cte_slots[index]
-        return None
+        slot = self.cte_slot_index(ppn, ppn_bits)
+        return self.cte_slots[slot] if slot is not None else None
 
     def set_cte_for_ppn(self, ppn: int, ppn_bits: int, cte: Optional[int]) -> bool:
         """Install/update the embedded CTE for ``ppn``; False if no slot."""
-        low_mask = (1 << ppn_bits) - 1
-        for index, truncated in enumerate(self.truncated_ppns):
-            if truncated == (ppn & low_mask):
-                if index >= self.cte_capacity:
-                    return False
-                self.cte_slots[index] = cte
-                return True
-        return False
+        slot = self.cte_slot_index(ppn, ppn_bits)
+        if slot is None:
+            return False
+        self.cte_slots[slot] = cte
+        return True
 
 
 class PTBCodec:
@@ -105,14 +119,30 @@ class PTBCodec:
         return len(highs) == 1
 
     def compress(self, ptes: List[int]) -> Optional[CompressedPTB]:
-        """Compress; ``None`` when the PTB does not qualify."""
-        if not self.compressible(ptes):
-            return None
-        low_mask = (1 << self.ppn_bits) - 1
+        """Compress; ``None`` when the PTB does not qualify.
+
+        Single pass: status/PPN fields are extracted once per PTE and
+        reused for both the compressibility check and the encoding.
+        """
+        if len(ptes) != PTES_PER_PTB:
+            raise ValueError(f"a PTB holds {PTES_PER_PTB} PTEs, got {len(ptes)}")
+        ppn_bits = self.ppn_bits
+        low_mask = (1 << ppn_bits) - 1
+        status = pte_status(ptes[0])
+        ppn0 = pte_ppn(ptes[0])
+        high = ppn0 >> ppn_bits
+        truncated = [ppn0 & low_mask]
+        for p in ptes[1:]:
+            if pte_status(p) != status:
+                return None
+            ppn = pte_ppn(p)
+            if ppn >> ppn_bits != high:
+                return None
+            truncated.append(ppn & low_mask)
         return CompressedPTB(
-            status=pte_status(ptes[0]),
-            ppn_high=pte_ppn(ptes[0]) >> self.ppn_bits,
-            truncated_ppns=[pte_ppn(p) & low_mask for p in ptes],
+            status=status,
+            ppn_high=high,
+            truncated_ppns=truncated,
             cte_slots=[None] * PTES_PER_PTB,
             cte_capacity=self.embeddable_ctes,
         )

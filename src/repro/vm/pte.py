@@ -9,7 +9,7 @@ observation (Figure 6) is that adjacent PTEs almost always share all 24.
 
 from __future__ import annotations
 
-from repro.common.bits import extract_bits, insert_bits, mask
+from repro.common.bits import insert_bits, mask
 
 # Low status bits (bit positions in the PTE).
 PTE_PRESENT = 1 << 0
@@ -46,9 +46,15 @@ def make_pte(ppn: int, status_low: int = STATUS_DEFAULT_DATA, status_high: int =
     return status_low | (ppn << PPN_LOW) | (status_high << 52)
 
 
+#: Precomputed field mask: ``mask(PPN_BITS)`` — the PPN extraction below is
+#: on the simulator's per-walk hot path, so it avoids the generic helpers.
+_PPN_MASK = (1 << PPN_BITS) - 1
+_STATUS_MASK = (1 << 12) - 1
+
+
 def pte_ppn(pte: int) -> int:
     """Physical page number stored in ``pte``."""
-    return extract_bits(pte, PPN_LOW, PPN_BITS)
+    return (pte >> PPN_LOW) & _PPN_MASK
 
 
 def pte_with_ppn(pte: int, ppn: int) -> int:
@@ -58,7 +64,7 @@ def pte_with_ppn(pte: int, ppn: int) -> int:
 
 def pte_status(pte: int) -> int:
     """The 24 status bits as one value: high 12 << 12 | low 12."""
-    return (extract_bits(pte, 52, 12) << 12) | extract_bits(pte, 0, 12)
+    return (((pte >> 52) & _STATUS_MASK) << 12) | (pte & _STATUS_MASK)
 
 
 def pte_present(pte: int) -> bool:

@@ -13,10 +13,11 @@ from typing import List, Optional, Tuple
 
 from repro.common.stats import Counter
 from repro.vm.pagetable import PageTable
+from repro.vm.pte import pte_ppn
 from repro.vm.tlb import PageWalkCache
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WalkResult:
     """Outcome of one page walk.
 
@@ -52,8 +53,6 @@ class PageWalker:
         self.pwc.fill(vpn)
         final_level, _, pte = path[-1]
         huge = final_level == 2
-        from repro.vm.pte import pte_ppn
-
         return WalkResult(
             fetches=tuple(fetches),
             pte=pte,

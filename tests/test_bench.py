@@ -1,0 +1,131 @@
+"""Tests for the pinned performance suite (``repro.bench`` + CLI)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_WORKLOADS,
+    compare_to_baseline,
+    default_output_name,
+    load_document,
+    run_suite,
+    write_document,
+)
+from repro.cli import main
+from repro.common.errors import ConfigError
+
+
+def document(rates, suite_rate=None):
+    """A minimal bench document with the given per-config rates."""
+    return {
+        "schema": "repro-bench/1",
+        "configs": [
+            {"workload": workload, "controller": controller,
+             "accesses": 1000, "elapsed_s": 1.0,
+             "accesses_per_s": rate}
+            for (workload, controller), rate in rates.items()
+        ],
+        "suite_accesses_per_s": suite_rate,
+    }
+
+
+def test_compare_passes_within_allowance():
+    baseline = document({("mcf", "tmcc"): 1000.0}, suite_rate=1000.0)
+    current = document({("mcf", "tmcc"): 850.0}, suite_rate=850.0)
+    assert compare_to_baseline(current, baseline, 0.20) == []
+
+
+def test_compare_flags_config_and_suite_regressions():
+    baseline = document({("mcf", "tmcc"): 1000.0,
+                         ("mcf", "compresso"): 1000.0}, suite_rate=1000.0)
+    current = document({("mcf", "tmcc"): 700.0,
+                        ("mcf", "compresso"): 990.0}, suite_rate=700.0)
+    messages = compare_to_baseline(current, baseline, 0.20)
+    assert len(messages) == 2
+    assert any(m.startswith("mcf/tmcc") for m in messages)
+    assert any(m.startswith("suite") for m in messages)
+
+
+def test_compare_skips_unmatched_configs():
+    baseline = document({("mcf", "tmcc"): 1000.0})
+    current = document({("bfs", "tmcc"): 1.0})
+    assert compare_to_baseline(current, baseline, 0.20) == []
+
+
+def test_compare_rejects_bad_allowance():
+    with pytest.raises(ConfigError):
+        compare_to_baseline(document({}), document({}), 1.0)
+
+
+def test_run_suite_rejects_unknown_workload():
+    with pytest.raises(ConfigError):
+        run_suite(accesses=100, workloads=("nope",))
+
+
+def test_default_output_name_is_dated():
+    from datetime import date
+
+    assert default_output_name(date(2026, 8, 8)) == "BENCH_2026-08-08.json"
+
+
+def test_load_document_rejects_non_bench_json(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ConfigError):
+        load_document(str(path))
+    with pytest.raises(ConfigError):
+        load_document(str(tmp_path / "missing.json"))
+
+
+def test_cli_bench_rejects_unknown_workload(capsys):
+    assert main(["bench", "--workloads", "doom3", "--accesses", "100"]) == 2
+    assert "unknown bench workload" in capsys.readouterr().err
+
+
+def test_cli_bench_rejects_bad_regression_bound(capsys):
+    assert main(["bench", "--max-regression", "-0.1"]) == 2
+    assert "--max-regression" in capsys.readouterr().err
+
+
+def test_cli_bench_rejects_bad_accesses(capsys):
+    assert main(["bench", "--accesses", "0"]) == 2
+    assert "--accesses" in capsys.readouterr().err
+
+
+def test_cli_bench_runs_and_gates(tmp_path, capsys):
+    """End to end at toy scale: write a document, then gate a second
+    run against it with a full allowance (cannot flake)."""
+    out = tmp_path / "bench.json"
+    argv = ["bench", "--workloads", "omnetpp", "--accesses", "1500",
+            "--out", str(out)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    record = json.loads(out.read_text())
+    assert record["schema"] == "repro-bench/1"
+    assert [c["controller"] for c in record["configs"]] == [
+        "uncompressed", "compresso", "tmcc"]
+    assert all(c["accesses_per_s"] > 0 for c in record["configs"])
+    assert record["suite_accesses"] == 3 * 1500
+
+    relaxed = tmp_path / "relaxed.json"
+    write_document({**record, "configs": [
+        dict(c, accesses_per_s=0.001) for c in record["configs"]
+    ], "suite_accesses_per_s": 0.001}, str(relaxed))
+    assert main(argv[:-1] + [str(tmp_path / "second.json"),
+                             "--baseline", str(relaxed)]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+    demanding = tmp_path / "demanding.json"
+    write_document({**record, "configs": [
+        dict(c, accesses_per_s=c["accesses_per_s"] * 1e6)
+        for c in record["configs"]
+    ], "suite_accesses_per_s": 1e12}, str(demanding))
+    assert main(argv[:-1] + [str(tmp_path / "third.json"),
+                             "--baseline", str(demanding)]) == 1
+    assert "regression:" in capsys.readouterr().err
+
+
+def test_bench_workloads_are_the_fig18_set():
+    assert BENCH_WORKLOADS == ("pageRank", "shortestPath", "bfs", "kcore",
+                               "mcf", "omnetpp", "canneal")

@@ -12,6 +12,10 @@ Scale knobs (environment variables):
 - ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset of the 12 paper
   workloads (default: a 7-workload representative set; set to ``all``
   for the full suite as in the paper).
+- ``REPRO_SWEEP_STORE`` -- path to a sweep result store
+  (``scripts/reproduce.py`` phase 1 writes one); matching recorded
+  runs are read back instead of re-simulated, anything the store
+  lacks still runs live.
 """
 
 from __future__ import annotations
@@ -55,11 +59,26 @@ def bench_accesses() -> int:
     return int(os.environ.get("REPRO_BENCH_ACCESSES", "60000"))
 
 
+def _sweep_store():
+    """The ``REPRO_SWEEP_STORE`` result store, when usable."""
+    path = os.environ.get("REPRO_SWEEP_STORE", "")
+    if not path or not os.path.exists(path):
+        return None
+    from repro.common.errors import ConfigError
+    from repro.sweep.store import SweepStore
+
+    try:
+        return SweepStore.open(path)
+    except ConfigError:
+        return None
+
+
 class RunCache:
     """Memoizes everything the figure benches share."""
 
     def __init__(self) -> None:
         self.system = SystemConfig()
+        self._store = _sweep_store()
         self._workloads: Dict[str, Workload] = {}
         self._models: Dict[str, PageCompressionModel] = {}
         self._runs: Dict[tuple, SimResult] = {}
@@ -92,7 +111,15 @@ class RunCache:
             huge_pages: bool = False) -> SimResult:
         key = (name, controller, dram_budget_bytes, huge_pages)
         if key not in self._runs:
-            self._runs[key] = run_workload(
+            found = None
+            if self._store is not None:
+                # The sweep phase records the shared runs at the same
+                # accesses/seed/scale; budgets match on resolved bytes.
+                found = self._store.find_result(
+                    name, controller, accesses=bench_accesses(),
+                    budget_bytes=dram_budget_bytes, huge_pages=huge_pages,
+                )
+            self._runs[key] = found or run_workload(
                 self.workload(name), controller, self.system,
                 dram_budget_bytes=dram_budget_bytes,
                 huge_pages=huge_pages, model=self.model(name),

@@ -6,39 +6,71 @@ the effective capacity gained at each point -- the trade Table IV and
 Figure 21 characterize.  The last line finds the iso-performance point
 automatically.
 
-Usage:  python examples/capacity_planner.py [workload]
-        (default workload: mcf; any of the 12 paper workloads works)
+The ladder is declared as a :class:`~repro.sweep.spec.SweepSpec` and
+executed into a SQLite result store, and the data points are then read
+*back from the store* -- the same rows ``repro sweep show/export`` (or
+any later analysis script) would see.  Re-running the planner resumes:
+already-recorded budgets are skipped, only missing ones simulate.
+
+Usage:  python examples/capacity_planner.py [workload] [store.db]
+        (default workload: mcf; any of the 12 paper workloads works;
+        default store: capacity_planner.db in the working directory)
 """
 
 import sys
 
-from repro.sim.experiments import (
-    iso_performance_capacity,
-    run_workload,
-)
-from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
+from repro.sim.experiments import iso_performance_capacity
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import BudgetSpec, SweepSpec
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, cached_workload
+
+#: Budget ladder, as fractions of Compresso's measured DRAM usage.
+FRACTIONS = (1.0, 0.85, 0.7, 0.55, 0.4)
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    store_path = sys.argv[2] if len(sys.argv) > 2 else "capacity_planner.db"
     if name not in PAPER_WORKLOAD_NAMES:
         raise SystemExit(f"pick one of {PAPER_WORKLOAD_NAMES}")
-    workload = workload_by_name(name, max_accesses=50_000, scale=0.5)
+    workload = cached_workload(name, max_accesses=50_000, scale=0.5)
     print(f"workload: {name} "
           f"({workload.footprint_pages * 4 // 1024} MiB footprint)")
 
-    compresso = run_workload(workload, "compresso")
+    # Declare the ladder: Compresso once (the iso reference), TMCC at
+    # each fraction of its measured usage.  run_sweep records every
+    # point in the store and skips rows recorded by an earlier run.
+    spec = SweepSpec.build(
+        name=f"capacity-{name}",
+        workloads=(name,),
+        controllers=(
+            "compresso",
+            {"name": "tmcc",
+             "budgets": [BudgetSpec("fraction", f) for f in FRACTIONS]},
+        ),
+        accesses=50_000,
+        scale=0.5,
+    )
+    run = run_sweep(spec, store=store_path)
+    store = run.store
+
+    # Read the data points back from the store -- not from the run.
+    jobs = {job["budget"]: job for job in store.jobs(run.sweep_id)
+            if job["controller"] == "tmcc"}
+    compresso_row = next(job for job in store.jobs(run.sweep_id)
+                         if job["controller"] == "compresso")
+    compresso = store.result_for(compresso_row["job_id"])
     print(f"Compresso: {compresso.dram_used_bytes / 2**20:.1f} MB used, "
           f"ratio {compresso.compression_ratio:.2f}x, "
           f"perf {compresso.performance:.1f}/us\n")
 
     print(f"{'TMCC budget':>12s} {'perf vs Compresso':>18s} "
           f"{'capacity':>9s} {'ML2 rate':>9s}")
-    for fraction in (1.0, 0.85, 0.7, 0.55, 0.4):
-        budget = int(compresso.dram_used_bytes * fraction)
-        try:
-            result = run_workload(workload, "tmcc", dram_budget_bytes=budget)
-        except ValueError:
+    for fraction in FRACTIONS:
+        job = jobs[BudgetSpec("fraction", fraction).label()]
+        budget = job["budget_bytes"]
+        result = store.result_for(job["job_id"])
+        if result is None:  # recorded as failed: under the floor
             print(f"{budget / 2**20:9.1f} MB  (below the compressible floor)")
             continue
         print(f"{budget / 2**20:9.1f} MB "
@@ -50,6 +82,9 @@ def main() -> None:
     print(f"\niso-performance point: {iso.tmcc.dram_used_bytes / 2**20:.1f} MB "
           f"-> {iso.normalized_ratio:.2f}x Compresso's compression ratio "
           f"at >= 99% of its performance (paper average: 2.2x)")
+    print(f"data points recorded in {store_path} "
+          f"(inspect with: repro sweep show {run.sweep_id} "
+          f"--store {store_path})")
 
 
 if __name__ == "__main__":

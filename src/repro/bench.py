@@ -137,7 +137,14 @@ def write_document(document: Dict[str, object], path: str) -> None:
 
 
 def load_document(path: str) -> Dict[str, object]:
-    """Load a benchmark document; :class:`ConfigError` on bad input."""
+    """Load and validate a benchmark document.
+
+    Everything :func:`compare_to_baseline` touches is checked here --
+    the schema tag, the ``configs`` list, and each record's
+    workload/controller/``accesses_per_s`` fields -- so a malformed
+    baseline surfaces as a one-line :class:`ConfigError` (CLI exit 2),
+    never as a ``KeyError`` traceback from deep inside the gate.
+    """
     try:
         with open(path) as handle:
             document = json.load(handle)
@@ -148,6 +155,31 @@ def load_document(path: str) -> Dict[str, object]:
     if not isinstance(document, dict) or "configs" not in document:
         raise ConfigError(f"{path} is not a repro-bench document "
                           f"(missing 'configs')")
+    schema = document.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ConfigError(
+            f"{path} has schema {schema!r}; this build reads "
+            f"{BENCH_SCHEMA!r}" if schema is not None else
+            f"{path} is not a repro-bench document (missing 'schema'; "
+            f"expected {BENCH_SCHEMA!r})")
+    configs = document["configs"]
+    if not isinstance(configs, list):
+        raise ConfigError(f"{path}: 'configs' must be a list, "
+                          f"got {type(configs).__name__}")
+    for position, record in enumerate(configs):
+        if not isinstance(record, dict):
+            raise ConfigError(f"{path}: configs[{position}] must be an "
+                              f"object, got {type(record).__name__}")
+        for key in ("workload", "controller"):
+            if not isinstance(record.get(key), str):
+                raise ConfigError(f"{path}: configs[{position}] needs a "
+                                  f"string {key!r} field")
+        rate = record.get("accesses_per_s")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise ConfigError(f"{path}: configs[{position}] "
+                              f"({record['workload']}/"
+                              f"{record['controller']}) needs a numeric "
+                              f"'accesses_per_s' field")
     return document
 
 

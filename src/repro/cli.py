@@ -12,8 +12,13 @@ The subcommands cover the library's main entry points:
   ``--interval-ns`` / ``--interval-out`` for windowed metric
   time-series, and ``--profile`` for host self-time.
 - ``compare``   -- the headline experiment: TMCC vs Compresso at equal
-  DRAM usage for one workload.
-- ``sweep``     -- TMCC's performance/capacity trade-off curve.
+  DRAM usage for one workload (a three-cell sweep under the hood).
+- ``sweep``     -- the sweep engine: ``sweep run`` executes a
+  declarative job matrix (a ``.toml``/``.json`` spec or a built-in like
+  ``fig18``) into a resumable SQLite store, in parallel with ``-j N``;
+  ``sweep ls``/``show``/``export`` query stores; ``sweep curve`` (or
+  the historical ``sweep <workload>`` spelling) prints TMCC's
+  performance/capacity trade-off curve.
 - ``report``    -- render one ``--emit-json`` document as a
   markdown/HTML run report, or diff two with ``--compare A B``.
 - ``bench``     -- run the pinned performance suite (``repro.bench``),
@@ -34,6 +39,8 @@ Examples::
     python -m repro.cli report result.json --trace t.json
     python -m repro.cli report --compare a.json b.json
     python -m repro.cli compare canneal --accesses 40000 --scale 0.4
+    python -m repro.cli sweep run fig18 --store sweeps.db -j 4
+    python -m repro.cli sweep export fig18 --format csv
     python -m repro.cli sweep mcf --points 4
 """
 
@@ -52,7 +59,6 @@ from repro.compression.deflate import (
     DeflateTimingModel,
     IBMDeflateModel,
 )
-from repro.sim.experiments import iso_capacity_comparison, run_workload
 from repro.workloads.content import CONTENT_PROFILES, ContentSynthesizer
 from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload_by_name
 
@@ -102,6 +108,12 @@ def _validate_args(args: argparse.Namespace) -> Optional[str]:
     pages = getattr(args, "pages", None)
     if pages is not None and pages <= 0:
         return f"--pages must be > 0, got {pages}"
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        return f"--jobs must be >= 1, got {jobs}"
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        return f"--timeout must be > 0 seconds, got {timeout}"
     return None
 
 
@@ -455,57 +467,252 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload, max_accesses=args.accesses,
-                                scale=args.scale)
-    uncompressed = run_workload(workload, "uncompressed")
-    iso = iso_capacity_comparison(workload)
+    """Figure 17's protocol as a thin wrapper over the sweep engine:
+    a three-cell matrix for one workload, reduced to the iso row."""
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.reduce import iso_capacity_rows
+    from repro.sweep.spec import SweepSpec
+    from repro.workloads.suite import cached_workload
+
+    spec = SweepSpec.build(
+        name="compare",
+        workloads=(args.workload,),
+        controllers=("uncompressed", "compresso", "tmcc@iso"),
+        accesses=args.accesses,
+        scale=args.scale,
+    )
+    run = run_sweep(spec, capture_errors=False)
+    row = iso_capacity_rows(run, subject="tmcc")[0]
+    uncompressed = run.result(run.find_jobs(controller="uncompressed")[0])
     if getattr(args, "emit_json", False):
         from repro.sim.instrument import nest_metrics
 
         systems = {}
         for label, result in (("uncompressed", uncompressed),
-                              ("compresso", iso.compresso),
-                              ("tmcc", iso.tmcc)):
+                              ("compresso", row["reference"]),
+                              ("tmcc", row["subject"])):
             record = result.as_dict()
             record["metrics_tree"] = nest_metrics(result.metrics)
             systems[label] = record
         print(json.dumps({"workload": args.workload,
-                          "speedup": iso.speedup,
+                          "speedup": row["speedup"],
                           "systems": systems},
                          indent=2, sort_keys=True))
         return 0
+    workload = cached_workload(args.workload, max_accesses=args.accesses,
+                               scale=args.scale)
     print(f"{args.workload}: footprint "
           f"{workload.footprint_pages * 4 // 1024} MiB, "
           f"{workload.access_count} accesses")
     print(f"{'system':14s} {'L3 miss lat':>12s} {'perf':>10s} {'capacity':>9s}")
     for label, result in (("no compress", uncompressed),
-                          ("Compresso", iso.compresso),
-                          ("TMCC", iso.tmcc)):
+                          ("Compresso", row["reference"]),
+                          ("TMCC", row["subject"])):
         print(f"{label:14s} {result.avg_l3_miss_latency_ns:9.1f} ns "
               f"{result.performance:7.1f}/us {result.compression_ratio:8.2f}x")
-    print(f"TMCC speedup at iso-capacity: {iso.speedup:.3f}x")
+    print(f"TMCC speedup at iso-capacity: {row['speedup']:.3f}x")
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload, max_accesses=args.accesses,
-                                scale=args.scale)
-    compresso = run_workload(workload, "compresso")
+def _load_sweep_spec(ident: str):
+    """A sweep spec from a file path or a built-in matrix name."""
+    import os
+
+    from repro.common.errors import ConfigError
+    from repro.sweep.spec import SweepSpec, builtin_spec
+
+    if os.path.exists(ident):
+        return SweepSpec.from_file(ident)
+    try:
+        return builtin_spec(ident)
+    except ConfigError:
+        raise ConfigError(
+            f"no spec file {ident!r} and no built-in sweep by that name; "
+            f"built-ins: fig18, smoke")
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.common.errors import ConfigError
+    from repro.sweep.engine import run_sweep
+
+    try:
+        spec = _load_sweep_spec(args.spec)
+        if args.timeout is not None:
+            spec = dataclasses.replace(spec, job_timeout_s=args.timeout)
+        total = len(spec.expand())
+    except ConfigError as error:
+        print(f"error (config): {error}", file=sys.stderr)
+        return 2
+
+    finished = {"count": 0}
+
+    def progress(event: str, job, record) -> None:
+        if event == "skip":
+            finished["count"] += 1
+            print(f"[{finished['count']:>{len(str(total))}}/{total}] "
+                  f"{job.label()}: skipped (already recorded)", flush=True)
+        elif event == "finish":
+            finished["count"] += 1
+            line = (f"[{finished['count']:>{len(str(total))}}/{total}] "
+                    f"{job.label()}: {record['status']}")
+            result = record.get("result")
+            if record["status"] == "done" and result is not None:
+                line += (f"  perf {result.performance:.1f}/us "
+                         f"capacity {result.compression_ratio:.2f}x "
+                         f"({record['elapsed_s']:.1f}s)")
+            elif record.get("error"):
+                line += f"  ({record['error']})"
+            print(line, flush=True)
+
+    try:
+        run = run_sweep(spec, store=args.store, workers=args.jobs,
+                        fresh=args.fresh, progress=progress)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed jobs are recorded -- resume with: "
+              f"repro sweep run {args.spec} --store {args.store}",
+              file=sys.stderr)
+        return 130
+    except ConfigError as error:
+        print(f"error (config): {error}", file=sys.stderr)
+        return 2
+
+    counts = run.counts
+    summary = ", ".join(f"{counts[key]} {key}" for key in
+                        ("done", "failed", "timeout") if counts.get(key))
+    resumed = " (resumed)" if run.resumed else ""
+    print(f"sweep {run.sweep_id}{resumed}: {summary or 'no jobs'} "
+          f"in {run.elapsed_s:.1f}s; store: {args.store}")
+    if not run.ok:
+        print(f"some jobs did not finish; inspect with: "
+              f"repro sweep show {run.sweep_id} --store {args.store}",
+              file=sys.stderr)
+    return 0 if run.ok else 1
+
+
+def _cmd_sweep_ls(args: argparse.Namespace) -> int:
+    from repro.sweep.store import SweepStore
+
+    sweeps = SweepStore.open(args.store).list_sweeps()
+    if not sweeps:
+        print(f"no sweeps recorded in {args.store}")
+        return 0
+    print(f"{'sweep_id':24s} {'status':12s} {'jobs':>9s}  name")
+    for sweep in sweeps:
+        print(f"{sweep['sweep_id']:24s} {sweep['status']:12s} "
+              f"{sweep['jobs_done']:>4d}/{sweep['jobs_total']:<4d} "
+              f"{sweep['name']}")
+    return 0
+
+
+def _cmd_sweep_show(args: argparse.Namespace) -> int:
+    from repro.sweep.store import SweepStore
+
+    store = SweepStore.open(args.store)
+    sweep = store.find_sweep(args.sweep)
+    jobs = store.jobs(sweep["sweep_id"])
+    print(f"sweep {sweep['sweep_id']}: status {sweep['status']}, "
+          f"{len(jobs)} jobs, spec {sweep['spec_hash']}")
+    header = (f"{'idx':>4s} {'workload':14s} {'controller':12s} "
+              f"{'budget':>8s} {'seed':>5s} {'status':8s} "
+              f"{'perf':>9s} {'capacity':>9s}")
+    print(header)
+    print("-" * len(header))
+    for job in jobs:
+        result = json.loads(job["result_json"]) if job["result_json"] else {}
+        perf = (f"{result['performance']:7.1f}/us"
+                if "performance" in result else "-".rjust(9))
+        ratio = (f"{result['compression_ratio']:8.2f}x"
+                 if "compression_ratio" in result else "-".rjust(9))
+        print(f"{job['idx']:>4d} {job['workload']:14s} "
+              f"{job['controller']:12s} {job['budget']:>8s} "
+              f"{job['seed']:>5d} {job['status']:8s} {perf:>9s} {ratio:>9s}"
+              + (f"  {job['error']}" if job["error"] else ""))
+    return 0
+
+
+def _cmd_sweep_export(args: argparse.Namespace) -> int:
+    from repro.sweep.reduce import export_csv
+    from repro.sweep.store import SweepStore
+
+    store = SweepStore.open(args.store)
+    document = store.export_document(args.sweep)
+    text = (export_csv(document) if args.format == "csv"
+            else json.dumps(document, indent=2, sort_keys=True) + "\n")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"exported {len(document['jobs'])} jobs to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_sweep_curve(args: argparse.Namespace) -> int:
+    """The historical ``repro sweep <workload>`` capacity ladder, now a
+    declarative fraction-budget sweep plus a reduction."""
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.reduce import capacity_curve_rows
+    from repro.sweep.spec import BudgetSpec, SweepSpec
+
+    fractions = [1.0 - step * (0.6 / max(1, args.points - 1))
+                 for step in range(args.points)]
+    spec = SweepSpec.build(
+        name=f"curve-{args.workload}",
+        workloads=(args.workload,),
+        controllers=(
+            "compresso",
+            {"name": "tmcc",
+             "budgets": [BudgetSpec("fraction", f) for f in fractions]},
+        ),
+        accesses=args.accesses,
+        scale=args.scale,
+    )
+    run = run_sweep(spec)
+    compresso = run.result(
+        run.find_jobs(controller="compresso", budget_kind="none")[0])
     print(f"Compresso: {compresso.dram_used_bytes / 2**20:.1f} MB, "
           f"perf {compresso.performance:.1f}/us")
     print(f"{'budget':>10s} {'perf vs Compresso':>18s} {'capacity':>9s}")
-    for step in range(args.points):
-        fraction = 1.0 - step * (0.6 / max(1, args.points - 1))
-        budget = int(compresso.dram_used_bytes * fraction)
-        try:
-            result = run_workload(workload, "tmcc", dram_budget_bytes=budget)
-        except ValueError:
-            print(f"{budget / 2**20:7.1f} MB  (below compressible floor)")
+    for row in capacity_curve_rows(run, args.workload):
+        budget = row["budget_bytes"]
+        result = row["result"]
+        if result is None:
+            error = run.errors.get(row["job_id"], {})
+            # The kind every ValueError classifies to -- the same set the
+            # pre-engine loop caught around each probe.
+            if error.get("error_kind") == ERROR_KIND_CONFIG:
+                print(f"{budget / 2**20:7.1f} MB  (below compressible floor)")
+            else:
+                print(f"{budget / 2**20:7.1f} MB  (failed: "
+                      f"{error.get('error', row['status'])})")
             continue
         print(f"{budget / 2**20:7.1f} MB "
               f"{result.performance / compresso.performance:17.2%} "
               f"{result.compression_ratio:8.2f}x")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigError, ResourceError
+
+    handlers = {
+        "run": _cmd_sweep_run,
+        "ls": _cmd_sweep_ls,
+        "show": _cmd_sweep_show,
+        "export": _cmd_sweep_export,
+        "curve": _cmd_sweep_curve,
+    }
+    try:
+        return handlers[args.sweep_command](args)
+    except ConfigError as error:
+        print(f"error (config): {error}", file=sys.stderr)
+        return 2
+    except ResourceError as error:
+        print(f"error (resource): {error}", file=sys.stderr)
+        return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -735,17 +942,64 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop gracefully (exit 3, partial result) after "
                           "this much wall-clock time")
 
-    for name, help_text in (("compare", "TMCC vs Compresso at iso-capacity"),
-                            ("sweep", "performance/capacity trade-off")):
-        sub = commands.add_parser(name, help=help_text)
-        sub.add_argument("workload", choices=PAPER_WORKLOAD_NAMES)
-        sub.add_argument("--accesses", type=int, default=40_000)
-        sub.add_argument("--scale", type=float, default=0.4)
-        if name == "sweep":
-            sub.add_argument("--points", type=int, default=4)
-        if name == "compare":
-            sub.add_argument("--emit-json", action="store_true",
-                             help="emit per-system results with metric trees")
+    compare = commands.add_parser(
+        "compare", help="TMCC vs Compresso at iso-capacity")
+    compare.add_argument("workload", choices=PAPER_WORKLOAD_NAMES)
+    compare.add_argument("--accesses", type=int, default=40_000)
+    compare.add_argument("--scale", type=float, default=0.4)
+    compare.add_argument("--emit-json", action="store_true",
+                         help="emit per-system results with metric trees")
+
+    sweep = commands.add_parser(
+        "sweep", help="declarative sweeps: run a job matrix into a "
+                      "result store, inspect it, or plot the legacy "
+                      "capacity curve")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run (or resume) a sweep spec against a store")
+    sweep_run.add_argument("spec",
+                           help="spec file (.toml/.json) or a built-in "
+                                "matrix name (fig18, smoke)")
+    sweep_run.add_argument("--store", default="sweeps.db", metavar="PATH",
+                           help="SQLite result store "
+                                "(default: sweeps.db; created on demand)")
+    sweep_run.add_argument("-j", "--jobs", type=int, default=1,
+                           help="worker processes (default: 1, inline)")
+    sweep_run.add_argument("--fresh", action="store_true",
+                           help="discard this spec's recorded rows and "
+                                "start over instead of resuming")
+    sweep_run.add_argument("--timeout", type=float, metavar="SECONDS",
+                           help="per-job wall-clock watchdog "
+                                "(overrides the spec's job_timeout_s)")
+
+    sweep_ls = sweep_sub.add_parser("ls", help="list recorded sweeps")
+    sweep_ls.add_argument("--store", default="sweeps.db", metavar="PATH")
+
+    sweep_show = sweep_sub.add_parser(
+        "show", help="show one sweep's job table")
+    sweep_show.add_argument("sweep",
+                            help="sweep id, id prefix, or sweep name")
+    sweep_show.add_argument("--store", default="sweeps.db", metavar="PATH")
+
+    sweep_export = sweep_sub.add_parser(
+        "export", help="export one sweep as JSON or CSV")
+    sweep_export.add_argument("sweep",
+                              help="sweep id, id prefix, or sweep name")
+    sweep_export.add_argument("--store", default="sweeps.db",
+                              metavar="PATH")
+    sweep_export.add_argument("--format", choices=("json", "csv"),
+                              default="json")
+    sweep_export.add_argument("--out", metavar="PATH",
+                              help="write here instead of stdout")
+
+    sweep_curve = sweep_sub.add_parser(
+        "curve", help="TMCC's performance/capacity trade-off curve "
+                      "(also reachable as `repro sweep <workload>`)")
+    sweep_curve.add_argument("workload", choices=PAPER_WORKLOAD_NAMES)
+    sweep_curve.add_argument("--accesses", type=int, default=40_000)
+    sweep_curve.add_argument("--scale", type=float, default=0.4)
+    sweep_curve.add_argument("--points", type=int, default=4)
 
     bench = commands.add_parser(
         "bench", help="run the pinned performance suite "
@@ -814,6 +1068,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Historical spelling: `repro sweep <workload>` predates the sweep
+    # subcommands and still means the capacity curve.
+    if (len(argv) >= 2 and argv[0] == "sweep"
+            and argv[1] in PAPER_WORKLOAD_NAMES):
+        argv.insert(1, "curve")
     args = build_parser().parse_args(argv)
     handlers = {
         "workloads": _cmd_workloads,

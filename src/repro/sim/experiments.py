@@ -10,18 +10,29 @@ These functions implement the *protocols* of Section VII:
 - ``osinspired_split`` -- Figure 20: TMCC vs the bare-bone OS-inspired
   design at matched budgets, with the fast-ML2-only ablation separating
   the ML1 (embedded CTE) and ML2 (fast Deflate) contributions.
+
+Since the sweep engine landed, these protocols are thin layers over it:
+each one declares a :class:`~repro.sweep.spec.SweepSpec` (or a single
+matrix cell), runs it inline through
+:func:`~repro.sweep.engine.run_sweep` /
+:func:`~repro.sweep.worker.execute_job` with ``capture_errors=False``
+(so historical raise behaviour is preserved), and reduces the recorded
+rows back to the paper's dataclasses.  A protocol run here is therefore
+the *same computation* as the matching cells of a ``repro sweep run``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
 from repro.sim.results import SimResult
-from repro.sim.simulator import Simulator
 from repro.workloads.trace import Workload
+
+# The sweep layer imports repro.sim.results (hence this package), so
+# its modules are imported lazily inside the protocol functions.
 
 
 def run_workload(
@@ -59,17 +70,35 @@ def run_workload(
             seed=seed,
             model=model,
         ).run()
-    simulator = Simulator(
-        workload,
-        controller=controller,
+    from repro.sweep.worker import execute_job
+
+    record = execute_job(
+        _cell(workload, controller, seed,
+              budget_bytes=dram_budget_bytes, huge_pages=huge_pages,
+              fast_path=fast_path),
+        budget_bytes=dram_budget_bytes,
+        workload=workload,
         system=system,
-        dram_budget_bytes=dram_budget_bytes,
-        huge_pages=huge_pages,
-        seed=seed,
         model=model,
-        fast_path=fast_path,
+        capture_errors=False,
     )
-    return simulator.run()
+    return record["result"]
+
+
+def _cell(workload: Workload, controller: str, seed: int,
+          budget_bytes: Optional[int] = None, huge_pages: bool = False,
+          fast_path: str = "auto"):
+    """A free-standing matrix cell for one pre-built workload object."""
+    from repro.sweep.spec import BudgetSpec, JobSpec
+
+    budget = (BudgetSpec("bytes", float(budget_bytes))
+              if budget_bytes else BudgetSpec("none"))
+    return JobSpec(
+        index=0, workload=workload.name, controller=controller,
+        seed=seed, base_seed=seed, repeat=0, budget=budget, faults=None,
+        accesses=len(workload.trace), scale=1.0, workload_seed=seed,
+        fast_path=fast_path, huge_pages=huge_pages,
+    )
 
 
 def _shared_model(workload: Workload, system: SystemConfig,
@@ -109,17 +138,35 @@ def iso_capacity_comparison(
     seed: int = 1,
     huge_pages: bool = False,
 ) -> IsoCapacityResult:
-    """TMCC at Compresso's DRAM usage (saving the same amount of memory)."""
+    """TMCC at Compresso's DRAM usage (saving the same amount of memory).
+
+    Declared as a two-cell sweep (Compresso at its default budget as
+    the iso reference, TMCC at ``iso``) and reduced via
+    :func:`~repro.sweep.reduce.iso_capacity_rows`.
+    """
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.reduce import iso_capacity_rows
+    from repro.sweep.spec import SweepSpec
+
     system = system or SystemConfig()
     model = _shared_model(workload, system, seed)
-    compresso = run_workload(workload, "compresso", system, seed=seed,
-                             huge_pages=huge_pages, model=model)
-    tmcc = run_workload(
-        workload, "tmcc", system,
-        dram_budget_bytes=compresso.dram_used_bytes,
-        seed=seed, huge_pages=huge_pages, model=model,
+    spec = SweepSpec.build(
+        name="iso-capacity",
+        workloads=(workload.name,),
+        controllers=("compresso", "tmcc@iso"),
+        seeds=(seed,),
+        huge_pages=huge_pages,
+        known_workloads_only=False,
     )
-    return IsoCapacityResult(workload.name, compresso, tmcc)
+    run = run_sweep(
+        spec,
+        capture_errors=False,
+        workload_resolver=lambda job: workload,
+        system=system,
+        model=model,
+    )
+    row = iso_capacity_rows(run, subject="tmcc")[0]
+    return IsoCapacityResult(workload.name, row["reference"], row["subject"])
 
 
 @dataclass
@@ -155,7 +202,10 @@ def iso_performance_capacity(
 
     Binary-searches the DRAM budget between "fully compressed" and
     "Compresso's usage"; returns the smallest budget whose performance is
-    still ``performance_floor`` of Compresso's.
+    still ``performance_floor`` of Compresso's.  Each probe is a single
+    sweep-engine cell (through :func:`run_workload` /
+    :func:`~repro.sweep.worker.execute_job`); the search itself stays
+    sequential because every probe's budget depends on the last verdict.
     """
     system = system or SystemConfig()
     model = _shared_model(workload, system, seed)
@@ -217,15 +267,33 @@ def osinspired_split(
     system: Optional[SystemConfig] = None,
     seed: int = 1,
 ) -> SplitResult:
-    """TMCC vs barebone OS-inspired at one budget, with the ML2 ablation."""
+    """TMCC vs barebone OS-inspired at one budget, with the ML2 ablation.
+
+    A three-controller sweep at one absolute byte budget.
+    """
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.spec import SweepSpec
+
     system = system or SystemConfig()
     model = _shared_model(workload, system, seed)
-    results: Dict[str, SimResult] = {}
-    for controller in ("osinspired", "osinspired_fastml2", "tmcc"):
-        results[controller] = run_workload(
-            workload, controller, system,
-            dram_budget_bytes=dram_budget_bytes, seed=seed, model=model,
-        )
+    spec = SweepSpec.build(
+        name="osinspired-split",
+        workloads=(workload.name,),
+        controllers=tuple(
+            {"name": name, "budgets": [int(dram_budget_bytes)]}
+            for name in ("osinspired", "osinspired_fastml2", "tmcc")),
+        seeds=(seed,),
+        known_workloads_only=False,
+    )
+    run = run_sweep(
+        spec,
+        capture_errors=False,
+        workload_resolver=lambda job: workload,
+        system=system,
+        model=model,
+    )
+    results = {name: run.result(run.find_jobs(controller=name)[0])
+               for name in ("osinspired", "osinspired_fastml2", "tmcc")}
     return SplitResult(
         workload.name,
         osinspired=results["osinspired"],

@@ -1,0 +1,322 @@
+"""The sweep orchestrator: matrix in, recorded results out.
+
+:func:`run_sweep` ties the layers together:
+
+1. expand the :class:`~repro.sweep.spec.SweepSpec` into its job matrix;
+2. register the sweep in the :class:`~repro.sweep.store.SweepStore`
+   (or find the existing one by spec hash -- that is a *resume*: jobs
+   already ``done`` are skipped wholesale, jobs left ``running`` by a
+   killed process are re-enqueued as ``pending``);
+3. pre-build each distinct workload trace once in the parent so a
+   fork-based pool shares them read-only;
+4. dispatch ready jobs -- a job is ready when it has no budget
+   provider, or its provider finished (iso/fraction budgets resolve
+   from the provider's measured ``dram_used_bytes``) -- inline for
+   ``workers=1``, through the :class:`~repro.sweep.worker.WorkerPool`
+   otherwise;
+5. record every outcome (status, resolved budget, result document,
+   headline metrics) in the store as it lands.
+
+Determinism: scheduling never feeds back into simulation.  Every job's
+seed and configuration is fixed at expansion time, each job runs in a
+fresh simulator, and budget resolution depends only on the provider's
+(deterministic) result -- so ``-j 1`` and ``-j 8`` sweeps, and killed-
+then-resumed sweeps, produce row-identical stores (see
+:meth:`~repro.sweep.store.SweepStore.fingerprint_rows`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.common.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.sweep.spec import JobSpec, SweepSpec
+from repro.sweep.store import SweepStore
+from repro.sweep.worker import WorkerPool, execute_job
+
+#: Progress callback signature: (event, job, record_or_None).  Events:
+#: ``skip`` (already done in the store), ``start``, ``finish``.
+ProgressFn = Callable[[str, JobSpec, Optional[dict]], None]
+
+
+@dataclass
+class SweepRun:
+    """Everything one :func:`run_sweep` call produced or reloaded."""
+
+    sweep_id: str
+    spec: SweepSpec
+    jobs: List[JobSpec]
+    store: Optional[SweepStore]
+    resumed: bool
+    skipped: int
+    elapsed_s: float = 0.0
+    statuses: Dict[str, str] = field(default_factory=dict)
+    results: Dict[str, SimResult] = field(default_factory=dict)
+    errors: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for status in self.statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return all(status == "done" for status in self.statuses.values())
+
+    def find_jobs(self, workload: Optional[str] = None,
+                  controller: Optional[str] = None,
+                  budget_kind: Optional[str] = None,
+                  seed: Optional[int] = None) -> List[JobSpec]:
+        """Matrix cells matching the given coordinates, in matrix order."""
+        return [
+            job for job in self.jobs
+            if (workload is None or job.workload == workload)
+            and (controller is None or job.controller == controller)
+            and (budget_kind is None or job.budget.kind == budget_kind)
+            and (seed is None or job.seed == seed)
+        ]
+
+    def result(self, job: JobSpec) -> SimResult:
+        """The job's result; raises with its recorded error otherwise."""
+        found = self.results.get(job.job_id)
+        if found is None:
+            error = self.errors.get(job.job_id, {})
+            raise RuntimeError(
+                f"job {job.label()!r} did not complete "
+                f"({self.statuses.get(job.job_id, 'missing')}"
+                f"{': ' + error['error'] if error.get('error') else ''})")
+        return found
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Union[SweepStore, str, None] = None,
+    workers: int = 1,
+    fresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+    capture_errors: bool = True,
+    workload_resolver: Optional[Callable[[JobSpec], object]] = None,
+    system=None,
+    model=None,
+) -> SweepRun:
+    """Run (or resume) a sweep; see the module docs for the phases.
+
+    ``store`` may be a path, an open :class:`SweepStore`, or None for an
+    ephemeral in-memory run (no resume).  ``workload_resolver`` /
+    ``system`` / ``model`` let the experiment protocols inject pre-built
+    objects; they are inline-only (``workers`` must be 1) because worker
+    processes rebuild state from the job spec alone.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    overrides = (workload_resolver is not None or system is not None
+                 or model is not None)
+    if workers > 1 and overrides:
+        raise ConfigError("workload_resolver/system/model overrides are "
+                          "inline-only; use workers=1")
+    if workers > 1 and not capture_errors:
+        raise ConfigError("capture_errors=False is inline-only; "
+                          "use workers=1")
+
+    jobs = spec.expand(known_workloads_only=workload_resolver is None)
+    if isinstance(store, str):
+        store = SweepStore.open(store)
+
+    resumed = False
+    if store is not None:
+        sweep_id, resumed = store.register_sweep(spec, jobs)
+        if fresh and resumed:
+            store.drop_sweep(sweep_id)
+            sweep_id, resumed = store.register_sweep(spec, jobs)
+    else:
+        sweep_id = f"{spec.name}-{spec.spec_hash()[:8]}"
+
+    run = SweepRun(sweep_id=sweep_id, spec=spec, jobs=jobs, store=store,
+                   resumed=resumed, skipped=0)
+    statuses = (store.job_statuses(sweep_id) if store is not None
+                else {job.job_id: "pending" for job in jobs})
+    run.statuses = statuses
+
+    by_id = {job.job_id: job for job in jobs}
+    # Resume: reload completed results (dependents may need provider
+    # budgets, reductions need every row) and skip those jobs.
+    for job in jobs:
+        if statuses[job.job_id] == "done" and store is not None:
+            result = store.result_for(job.job_id)
+            if result is not None:
+                run.results[job.job_id] = result
+            run.skipped += 1
+            if progress is not None:
+                progress("skip", job, None)
+        elif statuses[job.job_id] in ("failed", "timeout"):
+            run.skipped += 1
+            if progress is not None:
+                progress("skip", job, None)
+
+    todo = [job for job in jobs
+            if statuses[job.job_id] not in ("done", "failed", "timeout")]
+
+    # Pre-build each distinct trace once in the parent (fork sharing).
+    if workload_resolver is None:
+        from repro.workloads.suite import cached_workload
+
+        for key in sorted({(job.workload, job.accesses, job.workload_seed,
+                            job.scale) for job in todo}):
+            cached_workload(key[0], max_accesses=key[1], seed=key[2],
+                            scale=key[3])
+
+    def budget_for(job: JobSpec) -> Optional[int]:
+        if not job.budget.needs_reference:
+            return job.budget.resolve(None)
+        provider = run.results.get(job.provider_id)
+        if provider is None:
+            raise ConfigError(
+                f"budget provider for {job.label()!r} has no result")
+        return job.budget.resolve(provider.dram_used_bytes)
+
+    def ready(job: JobSpec) -> bool:
+        if not job.budget.needs_reference:
+            return True
+        return statuses.get(job.provider_id) == "done"
+
+    def provider_dead(job: JobSpec) -> bool:
+        return (job.budget.needs_reference
+                and statuses.get(job.provider_id) in ("failed", "timeout"))
+
+    def record_outcome(job: JobSpec, record: dict) -> None:
+        statuses[job.job_id] = record["status"]
+        if record["result"] is not None and record["status"] == "done":
+            run.results[job.job_id] = record["result"]
+        if record["status"] != "done":
+            run.errors[job.job_id] = {
+                "error": record.get("error", ""),
+                "error_type": record.get("error_type", ""),
+                "error_kind": record.get("error_kind", ""),
+            }
+        if store is not None:
+            store.finish_job(
+                job.job_id, record["status"],
+                elapsed_s=record.get("elapsed_s", 0.0),
+                error=record.get("error", ""),
+                budget_bytes=record.get("budget_bytes"),
+                result=record["result"],
+            )
+        if progress is not None:
+            progress("finish", job, record)
+
+    def fail_dependent(job: JobSpec) -> None:
+        provider = by_id[job.provider_id]
+        record_outcome(job, {
+            "job_id": job.job_id, "status": "failed",
+            "error": f"budget provider {provider.label()!r} "
+                     f"{statuses.get(job.provider_id)}",
+            "error_type": "ProviderFailed", "error_kind": "config",
+            "elapsed_s": 0.0, "budget_bytes": None, "result": None,
+        })
+
+    started = time.perf_counter()
+    completed = False
+    try:
+        if workers == 1:
+            _run_inline(todo, statuses, ready, provider_dead, budget_for,
+                        record_outcome, fail_dependent, spec, progress,
+                        store, capture_errors, workload_resolver, system,
+                        model)
+        else:
+            _run_pool(todo, by_id, statuses, ready, provider_dead,
+                      budget_for, record_outcome, fail_dependent, spec,
+                      progress, store, workers)
+        completed = True
+    finally:
+        run.elapsed_s = time.perf_counter() - started
+        run.statuses = statuses
+        if store is not None:
+            if not completed:
+                store.set_sweep_status(sweep_id, "interrupted")
+            elif all(status == "done" for status in statuses.values()):
+                store.set_sweep_status(sweep_id, "done")
+            else:
+                store.set_sweep_status(sweep_id, "failed")
+    return run
+
+
+def _run_inline(todo, statuses, ready, provider_dead, budget_for,
+                record_outcome, fail_dependent, spec, progress, store,
+                capture_errors, workload_resolver, system, model) -> None:
+    """Single-process scheduling: matrix order, providers first."""
+    pending = list(todo)
+    while pending:
+        progressed = False
+        deferred: List[JobSpec] = []
+        for job in pending:
+            if provider_dead(job):
+                fail_dependent(job)
+                progressed = True
+                continue
+            if not ready(job):
+                deferred.append(job)
+                continue
+            budget = budget_for(job)
+            if store is not None:
+                store.mark_job_running(job.job_id)
+            statuses[job.job_id] = "running"
+            if progress is not None:
+                progress("start", job, None)
+            workload = (workload_resolver(job)
+                        if workload_resolver is not None else None)
+            record = execute_job(
+                job, budget_bytes=budget, timeout_s=spec.job_timeout_s,
+                workload=workload, system=system, model=model,
+                capture_errors=capture_errors,
+            )
+            record_outcome(job, record)
+            progressed = True
+        pending = deferred
+        if pending and not progressed:
+            stuck = ", ".join(job.label() for job in pending[:4])
+            raise ConfigError(f"sweep deadlocked waiting on budget "
+                              f"providers for: {stuck}")
+
+
+def _run_pool(todo, by_id, statuses, ready, provider_dead, budget_for,
+              record_outcome, fail_dependent, spec, progress, store,
+              workers) -> None:
+    """Pool scheduling: keep every worker fed with ready jobs."""
+    pool = WorkerPool(workers)
+    try:
+        waiting = list(todo)
+
+        def dispatch_ready() -> None:
+            nonlocal waiting
+            deferred: List[JobSpec] = []
+            for job in waiting:
+                if provider_dead(job):
+                    fail_dependent(job)
+                elif ready(job):
+                    budget = budget_for(job)
+                    if store is not None:
+                        store.mark_job_running(job.job_id)
+                    statuses[job.job_id] = "running"
+                    if progress is not None:
+                        progress("start", job, None)
+                    pool.submit(job, budget, spec.job_timeout_s)
+                else:
+                    deferred.append(job)
+            waiting = deferred
+
+        dispatch_ready()
+        while pool.inflight:
+            record = pool.next_result()
+            record_outcome(by_id[record["job_id"]], record)
+            dispatch_ready()
+        if waiting:
+            stuck = ", ".join(job.label() for job in waiting[:4])
+            raise ConfigError(f"sweep deadlocked waiting on budget "
+                              f"providers for: {stuck}")
+    finally:
+        pool.close()

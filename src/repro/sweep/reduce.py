@@ -1,0 +1,112 @@
+"""Reductions: from recorded job rows back to the paper's tables.
+
+A sweep records *runs*; the figures report *relationships* (speedup at
+iso-capacity, performance retained per budget fraction).  These helpers
+fold a :class:`~repro.sweep.engine.SweepRun` -- or a store-loaded sweep
+-- into those relationship rows, so the CLI and the experiment
+protocols format tables instead of orchestrating loops.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional
+
+from repro.sim.results import SimResult
+from repro.sweep.engine import SweepRun
+
+
+def _one(jobs: list, what: str):
+    if not jobs:
+        raise KeyError(f"no {what} job in the sweep matrix")
+    return jobs[0]
+
+
+def iso_capacity_rows(run: SweepRun, subject: str = "tmcc") -> List[dict]:
+    """Figure 17/18 rows: per (workload, seed), the reference system vs
+    ``subject`` at the reference's measured budget."""
+    rows = []
+    reference = run.spec.reference
+    for workload in run.spec.workloads:
+        for base_seed in run.spec.seeds:
+            ref_jobs = [j for j in run.find_jobs(workload=workload,
+                                                 controller=reference,
+                                                 budget_kind="none")
+                        if j.base_seed == base_seed and j.faults is None]
+            subject_jobs = [j for j in run.find_jobs(workload=workload,
+                                                     controller=subject,
+                                                     budget_kind="iso")
+                            if j.base_seed == base_seed and j.faults is None]
+            if not ref_jobs or not subject_jobs:
+                continue
+            ref = run.result(_one(ref_jobs, reference))
+            sub = run.result(_one(subject_jobs, subject))
+            rows.append({
+                "workload": workload,
+                "seed": base_seed,
+                "reference": ref,
+                "subject": sub,
+                "budget_bytes": ref.dram_used_bytes,
+                "speedup": (sub.performance / ref.performance
+                            if ref.performance else 0.0),
+            })
+    return rows
+
+
+def capacity_curve_rows(run: SweepRun, workload: str,
+                        subject: str = "tmcc",
+                        seed: Optional[int] = None) -> List[dict]:
+    """Figure 21-style ladder: ``subject`` at each budget fraction of
+    the reference's usage, spec order, with failed points kept (they
+    mark the compressible floor)."""
+    rows = []
+    for job in run.find_jobs(workload=workload, controller=subject):
+        if not job.budget.needs_reference:
+            continue
+        if seed is not None and job.seed != seed:
+            continue
+        provider: Optional[SimResult] = run.results.get(job.provider_id)
+        result = run.results.get(job.job_id)
+        budget = (job.budget.resolve(provider.dram_used_bytes)
+                  if provider is not None else None)
+        rows.append({
+            "workload": workload,
+            "job_id": job.job_id,
+            "fraction": job.budget.value,
+            "budget_bytes": budget,
+            "status": run.statuses.get(job.job_id, "missing"),
+            "result": result,
+            "reference": provider,
+            "relative_performance": (
+                result.performance / provider.performance
+                if result is not None and provider is not None
+                and provider.performance else None),
+        })
+    return rows
+
+
+def export_csv(document: dict) -> str:
+    """A store export document flattened to one CSV row per job."""
+    headline_keys: List[str] = []
+    for row in document["jobs"]:
+        for key in _headline(row):
+            if key not in headline_keys:
+                headline_keys.append(key)
+    out = io.StringIO()
+    fields = ["idx", "workload", "controller", "budget", "budget_bytes",
+              "seed", "faults", "status", "error", "elapsed_s"]
+    writer = csv.writer(out)
+    writer.writerow(fields + headline_keys)
+    for job in document["jobs"]:
+        headline = _headline(job)
+        writer.writerow([job.get(field, "") for field in fields]
+                        + [headline.get(key, "") for key in headline_keys])
+    return out.getvalue()
+
+
+def _headline(job_row: dict) -> Dict[str, float]:
+    result = job_row.get("result") or {}
+    keys = ("performance", "avg_l3_miss_latency_ns", "compression_ratio",
+            "tlb_miss_rate", "cte_hit_rate", "ml2_access_rate")
+    return {key: result[key] for key in keys if key in result}

@@ -1,0 +1,260 @@
+"""Sweep job execution: one simulation per job, optionally in a pool.
+
+:func:`execute_job` is the single-job primitive every front-end shares:
+the sweep engine's inline path, the multiprocessing pool below, and the
+refactored experiment protocols in :mod:`repro.sim.experiments` all
+funnel through it, so a job measured by a ``-j 8`` sweep is the same
+computation as a sequential ``repro compare`` run.
+
+Process model: each job builds a **fresh simulator** (and with it a
+fresh :class:`~repro.sim.context.SimContext` -- clock, RNG streams,
+metrics) so no state leaks between matrix cells.  Two process-local
+read-only caches keep that cheap:
+
+- workload traces via :func:`repro.workloads.suite.cached_workload` --
+  with a fork-based pool the parent pre-builds them and children
+  inherit the pages copy-on-write;
+- :class:`~repro.core.compmodel.PageCompressionModel` oracles keyed by
+  (workload, trace knobs, seed) -- deterministic at construction, so
+  sharing one across a workload's controllers changes nothing but
+  setup time (the same sharing the experiment protocols always did).
+
+Per-job timeouts reuse :class:`~repro.sim.supervisor.RunSupervisor`'s
+wall-clock watchdog discipline: the run stops *gracefully*, the partial
+result is returned flagged truncated, and the job is recorded with
+status ``timeout`` rather than killed from outside mid-write.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ResourceError, classify_error
+from repro.core.compmodel import PageCompressionModel
+from repro.core.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sweep.spec import JobSpec
+from repro.workloads.trace import Workload
+
+#: Process-local compression-oracle cache; see the module docs.
+_MODEL_CACHE: Dict[Tuple[str, int, float, int, int], PageCompressionModel] = {}
+
+#: One default config per process; jobs never mutate it.
+_DEFAULT_SYSTEM: Optional[SystemConfig] = None
+
+
+def _default_system() -> SystemConfig:
+    global _DEFAULT_SYSTEM
+    if _DEFAULT_SYSTEM is None:
+        _DEFAULT_SYSTEM = SystemConfig()
+    return _DEFAULT_SYSTEM
+
+
+def _model_for(job: JobSpec, workload: Workload,
+               system: SystemConfig) -> PageCompressionModel:
+    key = (job.workload, job.accesses, job.scale, job.workload_seed,
+           job.seed)
+    model = _MODEL_CACHE.get(key)
+    if model is None:
+        model = PageCompressionModel(
+            workload.content,
+            sample_pages=system.compression_samples,
+            deflate_config=system.deflate,
+            timing=system.deflate_timing,
+            ibm=system.ibm_timing,
+            seed=job.seed,
+        )
+        _MODEL_CACHE[key] = model
+    return model
+
+
+def clear_model_cache() -> None:
+    _MODEL_CACHE.clear()
+
+
+def execute_job(
+    job: JobSpec,
+    budget_bytes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    workload: Optional[Workload] = None,
+    system: Optional[SystemConfig] = None,
+    model: Optional[PageCompressionModel] = None,
+    capture_errors: bool = True,
+) -> dict:
+    """Run one matrix cell end to end; returns the job's result record.
+
+    The record: ``{"job_id", "status", "error", "error_type",
+    "error_kind", "elapsed_s", "budget_bytes", "result"}`` where
+    ``result`` is the :class:`SimResult` (or None on failure) and
+    ``status`` is ``done``/``timeout``/``failed``.  With
+    ``capture_errors=False`` simulation errors propagate to the caller
+    instead of being folded into the record (inline single-process use
+    only -- the experiment protocols keep their historical raise
+    behaviour that way).
+    """
+    start = time.perf_counter()
+
+    def record(status: str, result: Optional[SimResult] = None,
+               error: Optional[BaseException] = None) -> dict:
+        return {
+            "job_id": job.job_id,
+            "status": status,
+            "error": (str(error) or type(error).__name__) if error else (
+                result.error if result is not None and status == "timeout"
+                else ""),
+            "error_type": type(error).__name__ if error else "",
+            "error_kind": classify_error(error) if error else "",
+            "elapsed_s": time.perf_counter() - start,
+            "budget_bytes": budget_bytes,
+            "result": result,
+        }
+
+    try:
+        # The model cache key is only trustworthy when the workload was
+        # resolved from the job's own fields; caller-supplied workloads
+        # may collide on (name, knobs) with different trace content.
+        resolved_from_spec = workload is None
+        if resolved_from_spec:
+            from repro.workloads.suite import cached_workload
+
+            workload = cached_workload(job.workload,
+                                       max_accesses=job.accesses,
+                                       seed=job.workload_seed,
+                                       scale=job.scale)
+        if model is None and system is None and resolved_from_spec:
+            model = _model_for(job, workload, _default_system())
+
+        fault_plan = None
+        if job.faults:
+            from repro.sim.faults import FaultPlan
+
+            fault_plan = FaultPlan.parse(job.faults)
+
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(
+            workload,
+            controller=job.controller,
+            system=system,
+            dram_budget_bytes=budget_bytes,
+            huge_pages=job.huge_pages,
+            seed=job.seed,
+            model=model,
+            fault_plan=fault_plan,
+            fast_path=job.fast_path,
+        )
+        if timeout_s is not None:
+            from repro.sim.supervisor import RunSupervisor
+
+            result = RunSupervisor(wall_clock_limit_s=timeout_s).run(sim)
+        else:
+            result = sim.run()
+    except Exception as error:
+        if not capture_errors:
+            raise
+        return record("failed", error=error)
+    return record("timeout" if result.truncated else "done", result=result)
+
+
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+
+def _pool_main(tasks, results) -> None:
+    """Worker-process loop: execute jobs until the ``None`` sentinel."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        job, budget_bytes, timeout_s = item
+        try:
+            results.put(execute_job(job, budget_bytes, timeout_s))
+        except BaseException as error:  # never wedge the dispatcher
+            results.put({
+                "job_id": job.job_id, "status": "failed",
+                "error": str(error) or type(error).__name__,
+                "error_type": type(error).__name__,
+                "error_kind": classify_error(error)
+                if isinstance(error, Exception) else "resource",
+                "elapsed_s": 0.0, "budget_bytes": budget_bytes,
+                "result": None,
+            })
+            if isinstance(error, KeyboardInterrupt):
+                return
+
+
+class WorkerPool:
+    """A queue-fed multiprocessing pool of sweep-job workers.
+
+    Jobs go down a task queue, result records come back on a result
+    queue in completion order; the dispatcher (the sweep engine) owns
+    scheduling and the store, workers only simulate.  Prefers ``fork``
+    so pre-built workload traces are shared copy-on-write; falls back
+    to ``spawn`` where fork is unavailable (workers then rebuild their
+    caches on first use).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._inflight = 0
+        self._procs = [
+            self._ctx.Process(target=_pool_main,
+                              args=(self._tasks, self._results), daemon=True)
+            for _ in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def submit(self, job: JobSpec, budget_bytes: Optional[int],
+               timeout_s: Optional[float]) -> None:
+        self._tasks.put((job, budget_bytes, timeout_s))
+        self._inflight += 1
+
+    def next_result(self) -> dict:
+        """Block until any in-flight job finishes; detects dead workers."""
+        if self._inflight <= 0:
+            raise RuntimeError("no in-flight jobs to wait for")
+        import queue as queue_module
+
+        while True:
+            try:
+                result = self._results.get(timeout=1.0)
+            except queue_module.Empty:
+                if not any(proc.is_alive() for proc in self._procs):
+                    raise ResourceError(
+                        "all sweep workers died without reporting results; "
+                        "re-run to resume from the store")
+                continue
+            self._inflight -= 1
+            return result
+
+    def close(self) -> None:
+        """Stop workers: sentinel each, join briefly, terminate stragglers."""
+        for _ in self._procs:
+            try:
+                self._tasks.put_nowait(None)
+            except Exception:
+                break
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for resource in (self._tasks, self._results):
+            try:
+                resource.close()
+            except Exception:
+                pass

@@ -30,7 +30,13 @@ from repro.workloads.generators import (
     SMALL_KERNELS,
     BANDWIDTH_KERNELS,
 )
-from repro.workloads.suite import paper_workloads, workload_by_name, PAPER_WORKLOAD_NAMES
+from repro.workloads.suite import (
+    PAPER_WORKLOAD_NAMES,
+    cached_workload,
+    clear_workload_cache,
+    paper_workloads,
+    workload_by_name,
+)
 from repro.workloads.content import ContentSynthesizer, CONTENT_PROFILES
 from repro.workloads.dumps import dump_corpus, DUMP_BENCHMARKS
 from repro.workloads.traceio import (
@@ -56,6 +62,8 @@ __all__ = [
     "BANDWIDTH_KERNELS",
     "paper_workloads",
     "workload_by_name",
+    "cached_workload",
+    "clear_workload_cache",
     "PAPER_WORKLOAD_NAMES",
     "ContentSynthesizer",
     "CONTENT_PROFILES",

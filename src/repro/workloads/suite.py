@@ -8,7 +8,7 @@ traces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.workloads.generators import (
     canneal_workload,
@@ -58,6 +58,42 @@ def workload_by_name(
         )
     raise ValueError(f"unknown workload {name!r}; "
                      f"choose from {PAPER_WORKLOAD_NAMES}")
+
+
+#: Memoized traces, keyed by every knob that shapes them.  Sweeps touch
+#: the same (workload, seed, size) configuration once per controller x
+#: budget x fault-plan cell; building the trace once and sharing it
+#: read-only is the difference between O(cells) and O(workloads) setup.
+#: With a fork-based worker pool the parent pre-builds the cache and the
+#: children inherit the traces copy-on-write, so no per-process rebuild
+#: happens either.  Cached workloads must be treated as immutable.
+_WORKLOAD_CACHE: Dict[Tuple[str, int, int, float], Workload] = {}
+
+
+def cached_workload(
+    name: str,
+    max_accesses: int = 120_000,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> Workload:
+    """A memoized :func:`workload_by_name`.
+
+    Returns the *same* :class:`Workload` object for identical
+    ``(name, max_accesses, seed, scale)`` knobs.  Callers must not
+    mutate the trace; the simulator only replays it.
+    """
+    key = (name, max_accesses, seed, scale)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = workload_by_name(name, max_accesses=max_accesses,
+                                    seed=seed, scale=scale)
+        _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+def clear_workload_cache() -> None:
+    """Drop every memoized trace (tests / memory-pressure escape hatch)."""
+    _WORKLOAD_CACHE.clear()
 
 
 def paper_workloads(

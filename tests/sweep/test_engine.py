@@ -1,0 +1,160 @@
+"""Engine layer: scheduling, resume, and worker-count determinism.
+
+These run real (tiny) simulations -- 1.5k accesses at 5% scale -- so
+every assertion is against genuine end-to-end rows.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import SweepStore
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="t",
+        workloads=("mcf", "omnetpp"),
+        controllers=("compresso", "tmcc@iso"),
+        accesses=1_500,
+        scale=0.05,
+    )
+    base.update(overrides)
+    return SweepSpec.build(**base)
+
+
+def test_ephemeral_run_produces_all_results():
+    run = run_sweep(tiny_spec())
+    assert run.ok and run.store is None and not run.resumed
+    assert run.counts == {"done": 4}
+    for job in run.jobs:
+        assert run.result(job).workload == job.workload
+
+
+def test_provider_budget_resolution():
+    run = run_sweep(tiny_spec())
+    for workload in ("mcf", "omnetpp"):
+        compresso = run.result(run.find_jobs(workload, "compresso")[0])
+        iso_job = run.find_jobs(workload, "tmcc")[0]
+        tmcc = run.result(iso_job)
+        assert iso_job.budget.kind == "iso"
+        assert tmcc.dram_used_bytes <= compresso.dram_used_bytes
+
+
+def test_store_records_resolved_iso_budget(tmp_path):
+    run = run_sweep(tiny_spec(), store=str(tmp_path / "s.db"))
+    store = run.store
+    compresso = run.result(run.find_jobs("mcf", "compresso")[0])
+    iso_row = next(job for job in store.jobs(run.sweep_id)
+                   if job["workload"] == "mcf"
+                   and job["controller"] == "tmcc")
+    assert iso_row["budget_bytes"] == compresso.dram_used_bytes
+
+
+def test_pool_rows_identical_to_inline(tmp_path):
+    """-j 1 and -j N must produce row-identical stores."""
+    spec = tiny_spec()
+    inline = run_sweep(spec, store=str(tmp_path / "j1.db"), workers=1)
+    pooled = run_sweep(spec, store=str(tmp_path / "j2.db"), workers=2)
+    assert inline.ok and pooled.ok and not pooled.resumed
+    rows_inline = inline.store.fingerprint_rows(inline.sweep_id)
+    rows_pooled = pooled.store.fingerprint_rows(pooled.sweep_id)
+    assert rows_inline == rows_pooled
+
+
+def test_killed_sweep_resumes_row_identical(tmp_path):
+    """Kill mid-flight; the resumed store must match an uninterrupted one."""
+    spec = tiny_spec()
+    control = run_sweep(spec, store=str(tmp_path / "control.db"))
+
+    finishes = 0
+
+    def kill_after_first_finish(event, job, record):
+        nonlocal finishes
+        if event == "finish":
+            finishes += 1
+            if finishes == 1:
+                raise KeyboardInterrupt
+
+    killed_path = str(tmp_path / "killed.db")
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(spec, store=killed_path, progress=kill_after_first_finish)
+    interrupted = SweepStore.open(killed_path)
+    sweep_row = interrupted.find_sweep(spec.name)
+    assert sweep_row["status"] == "interrupted"
+    assert "done" in interrupted.job_statuses(sweep_row["sweep_id"]).values()
+
+    resumed = run_sweep(spec, store=killed_path)
+    assert resumed.resumed and resumed.ok
+    assert resumed.skipped == finishes  # completed jobs were not re-run
+    assert resumed.store.fingerprint_rows(resumed.sweep_id) == \
+        control.store.fingerprint_rows(control.sweep_id)
+
+
+def test_resume_of_finished_sweep_reloads_results(tmp_path):
+    spec = tiny_spec()
+    path = str(tmp_path / "s.db")
+    first = run_sweep(spec, store=path)
+    second = run_sweep(spec, store=path)
+    assert second.resumed and second.skipped == len(second.jobs)
+    for job in second.jobs:
+        assert second.result(job) == first.result(job)
+
+
+def test_fresh_discards_recorded_rows(tmp_path):
+    spec = tiny_spec()
+    path = str(tmp_path / "s.db")
+    run_sweep(spec, store=path)
+    rerun = run_sweep(spec, store=path, fresh=True)
+    assert not rerun.resumed and rerun.skipped == 0 and rerun.ok
+
+
+def test_captured_failure_does_not_stop_the_sweep(tmp_path):
+    # A 1-byte budget is under the compressible floor: that cell must
+    # record as failed/config while the rest of the matrix completes.
+    spec = tiny_spec(
+        workloads=("mcf",),
+        controllers=("compresso", {"name": "tmcc", "budgets": [1]}),
+    )
+    run = run_sweep(spec, store=str(tmp_path / "s.db"))
+    assert not run.ok
+    assert run.counts == {"done": 1, "failed": 1}
+    failed = run.find_jobs("mcf", "tmcc")[0]
+    assert run.errors[failed.job_id]["error_kind"] == "config"
+    with pytest.raises(RuntimeError, match="did not complete"):
+        run.result(failed)
+    assert run.store.find_sweep(spec.name)["status"] == "failed"
+
+
+def test_failed_provider_fails_dependents():
+    spec = tiny_spec(
+        workloads=("mcf",),
+        controllers=("compresso", "tmcc@iso"),
+        # Time out every job instantly: the compresso reference can
+        # never provide a budget, so the iso cell must fail cleanly
+        # instead of deadlocking.
+        job_timeout_s=1e-9,
+    )
+    run = run_sweep(spec)
+    statuses = set(run.counts)
+    assert statuses == {"timeout", "failed"}
+    iso_job = run.find_jobs("mcf", "tmcc")[0]
+    assert "provider" in run.errors[iso_job.job_id]["error"]
+
+
+def test_uncaptured_errors_propagate():
+    spec = tiny_spec(workloads=("mcf",),
+                     controllers=({"name": "tmcc", "budgets": [1]},))
+    with pytest.raises(ConfigError):
+        run_sweep(spec, capture_errors=False)
+
+
+def test_invalid_engine_arguments_rejected():
+    spec = tiny_spec()
+    with pytest.raises(ConfigError, match="workers"):
+        run_sweep(spec, workers=0)
+    with pytest.raises(ConfigError, match="inline-only"):
+        run_sweep(spec, workers=2, system=object())
+    with pytest.raises(ConfigError, match="inline-only"):
+        run_sweep(spec, workers=2, capture_errors=False)

@@ -1,0 +1,185 @@
+"""Store layer: registration, resume bookkeeping, schema gating, export."""
+
+import sqlite3
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import STORE_SCHEMA_VERSION, SweepStore
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="t",
+        workloads=("mcf",),
+        controllers=("compresso", "tmcc@iso"),
+        accesses=1_500,
+        scale=0.05,
+    )
+    base.update(overrides)
+    return SweepSpec.build(**base)
+
+
+def fake_result(workload="mcf", controller="compresso",
+                dram_used=1_000_000) -> SimResult:
+    return SimResult(
+        workload=workload, controller=controller, accesses=1_500,
+        elapsed_ns=15_000.0, avg_l3_miss_latency_ns=60.0,
+        dram_used_bytes=dram_used, footprint_bytes=2_000_000,
+        metrics={"tlb.miss_rate": 0.1},
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SweepStore.open(str(tmp_path / "s.db"))
+
+
+def test_register_then_resume(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, resumed = store.register_sweep(spec, jobs)
+    assert not resumed
+    assert sweep_id.startswith("t-")
+    assert set(store.job_statuses(sweep_id).values()) == {"pending"}
+
+    again, resumed = store.register_sweep(spec, jobs)
+    assert resumed and again == sweep_id
+
+
+def test_resume_requeues_running_jobs(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    store.mark_job_running(jobs[0].job_id)
+    store.finish_job(jobs[1].job_id, "done", elapsed_s=0.1,
+                     result=fake_result())
+    # A killed process leaves jobs[0] 'running'; re-registration must
+    # re-enqueue it while keeping the recorded 'done' row.
+    store.register_sweep(spec, jobs)
+    statuses = store.job_statuses(sweep_id)
+    assert statuses[jobs[0].job_id] == "pending"
+    assert statuses[jobs[1].job_id] == "done"
+
+
+def test_result_round_trip(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    store.register_sweep(spec, jobs)
+    original = fake_result()
+    store.finish_job(jobs[0].job_id, "done", elapsed_s=0.5,
+                     budget_bytes=None, result=original)
+    loaded = store.result_for(jobs[0].job_id)
+    assert loaded == original
+    assert store.result_for(jobs[1].job_id) is None
+
+
+def test_headline_metrics_flattened(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    store.register_sweep(spec, jobs)
+    store.finish_job(jobs[0].job_id, "done", elapsed_s=0.5,
+                     result=fake_result())
+    sweep_id = store.find_sweep("t")["sweep_id"]
+    rows = store.metrics_rows(sweep_id)
+    keys = {row["key"] for row in rows}
+    assert "performance" in keys and "compression_ratio" in keys
+
+
+def test_find_result_matches_on_resolved_budget(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    store.register_sweep(spec, jobs)
+    compresso, tmcc_iso = jobs[0], jobs[1]
+    store.finish_job(compresso.job_id, "done", elapsed_s=0.1,
+                     result=fake_result())
+    store.finish_job(tmcc_iso.job_id, "done", elapsed_s=0.1,
+                     budget_bytes=1_000_000,
+                     result=fake_result(controller="tmcc", dram_used=900_000))
+    found = store.find_result("mcf", "tmcc", accesses=1_500, scale=0.05,
+                              budget_bytes=1_000_000)
+    assert found is not None and found.controller == "tmcc"
+    assert store.find_result("mcf", "compresso", accesses=1_500,
+                             scale=0.05) is not None
+    assert store.find_result("mcf", "tmcc", accesses=1_500, scale=0.05,
+                             budget_bytes=123) is None
+    assert store.find_result("mcf", "tmcc", accesses=9_999,
+                             scale=0.05, budget_bytes=1_000_000) is None
+
+
+def test_find_sweep_by_prefix_and_name(store):
+    spec = tiny_spec()
+    sweep_id, _ = store.register_sweep(spec, spec.expand())
+    assert store.find_sweep(sweep_id)["sweep_id"] == sweep_id
+    assert store.find_sweep(sweep_id[:6])["sweep_id"] == sweep_id
+    assert store.find_sweep("t")["sweep_id"] == sweep_id
+    with pytest.raises(ConfigError, match="no sweep"):
+        store.find_sweep("nosuch")
+
+
+def test_drop_sweep_clears_everything(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    store.finish_job(jobs[0].job_id, "done", elapsed_s=0.1,
+                     result=fake_result())
+    store.drop_sweep(sweep_id)
+    assert store.list_sweeps() == []
+    assert store.job_statuses(sweep_id) == {}
+    _, resumed = store.register_sweep(spec, jobs)
+    assert not resumed
+
+
+def test_export_document_shape(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    store.finish_job(jobs[0].job_id, "done", elapsed_s=0.1,
+                     result=fake_result())
+    document = store.export_document(sweep_id)
+    assert document["schema"] == f"repro-sweep/{STORE_SCHEMA_VERSION}"
+    assert document["spec"]["name"] == "t"
+    assert len(document["jobs"]) == len(jobs)
+    done = [j for j in document["jobs"] if j["status"] == "done"]
+    assert done and done[0]["result"]["dram_used_bytes"] == 1_000_000
+
+
+def test_fingerprint_ignores_wall_clock(tmp_path):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    a = SweepStore.open(str(tmp_path / "a.db"))
+    b = SweepStore.open(str(tmp_path / "b.db"))
+    for store, elapsed in ((a, 0.1), (b, 99.9)):
+        sweep_id, _ = store.register_sweep(spec, jobs)
+        for job in jobs:
+            store.finish_job(job.job_id, "done", elapsed_s=elapsed,
+                             budget_bytes=None, result=fake_result())
+    assert a.fingerprint_rows(sweep_id) == b.fingerprint_rows(sweep_id)
+
+
+def test_schema_version_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "s.db")
+    SweepStore.open(path)
+    conn = sqlite3.connect(path)
+    conn.execute("UPDATE meta SET value = '999' "
+                 "WHERE key = 'schema_version'")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ConfigError, match="schema version"):
+        SweepStore.open(path)
+
+
+def test_non_store_files_rejected(tmp_path):
+    text = tmp_path / "notes.txt"
+    text.write_text("hello " * 100)
+    with pytest.raises(ConfigError, match="not a sweep store"):
+        SweepStore.open(str(text))
+    other_db = tmp_path / "other.db"
+    conn = sqlite3.connect(str(other_db))
+    conn.execute("CREATE TABLE users (id INTEGER)")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ConfigError, match="not a sweep store"):
+        SweepStore.open(str(other_db))

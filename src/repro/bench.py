@@ -25,13 +25,16 @@ as trajectories, not gates.
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import platform
 import time
 from datetime import date
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
+from repro.common.numpy_compat import numpy_or_none
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
 from repro.sim.experiments import run_workload
@@ -50,10 +53,41 @@ BENCH_SEED = 1
 #: Document format tag, bumped on breaking schema changes.
 BENCH_SCHEMA = "repro-bench/1"
 
+#: Suite aggregate of the seed tree (instrumented loop only, reference
+#: host; see docs/performance.md).  Denominator of the ``--history``
+#: speedup column: every dated document is "Nx over where we started".
+SEED_SUITE_RATE = 25_156.0
+
 
 def default_output_name(today: Optional[date] = None) -> str:
     """``BENCH_<ISO date>.json`` -- the dated trajectory file name."""
     return f"BENCH_{(today or date.today()).isoformat()}.json"
+
+
+def host_metadata() -> Dict[str, object]:
+    """Identify the measuring host inside the benchmark document.
+
+    Throughput is a host property, so every document records the CPU
+    model (from ``/proc/cpuinfo`` where available), the Python version,
+    and whether numpy was live for the run -- enough to judge whether
+    two documents are comparable before reading their rates.
+    """
+    cpu = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:  # non-Linux hosts: keep the platform fallback
+        pass
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu": cpu,
+        "numpy": numpy_or_none() is not None,
+    }
 
 
 def run_suite(
@@ -117,11 +151,7 @@ def run_suite(
         "accesses": accesses,
         "seed": seed,
         "fast_path": fast_path,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-        },
+        "host": host_metadata(),
         "suite_accesses": total,
         "suite_elapsed_s": round(suite_elapsed, 2),
         "suite_accesses_per_s": round(total / suite_elapsed, 1),
@@ -226,3 +256,69 @@ def compare_to_baseline(
             f"{suite_ref:,.0f} acc/s"
         )
     return messages
+
+
+def controller_rates(document: Dict[str, object]) -> Dict[str, float]:
+    """Aggregate accesses/sec per controller across a document's configs.
+
+    Rates do not average: per controller, total replayed accesses over
+    total elapsed time, so long workloads weigh in proportionally.
+    """
+    accesses: Dict[str, int] = {}
+    elapsed: Dict[str, float] = {}
+    for record in document.get("configs", []):
+        controller = record["controller"]
+        accesses[controller] = (accesses.get(controller, 0)
+                                + record.get("accesses", 0))
+        elapsed[controller] = (elapsed.get(controller, 0.0)
+                               + record.get("elapsed_s", 0.0))
+    return {controller: accesses[controller] / elapsed[controller]
+            for controller in accesses if elapsed[controller] > 0}
+
+
+def history_documents(directory: str) -> List[Tuple[str, Dict[str, object]]]:
+    """The dated ``BENCH_*.json`` series under ``directory``, oldest
+    first (the ISO-dated file names sort chronologically)."""
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        raise ConfigError(f"no BENCH_*.json documents under {directory}")
+    return [(path, load_document(path)) for path in paths]
+
+
+def render_history(directory: str) -> str:
+    """The performance-trajectory table behind ``repro bench --history``.
+
+    One row per committed dated document: aggregate accesses/sec per
+    controller, the suite aggregate, and the speedup over the seed
+    tree's instrumented loop (:data:`SEED_SUITE_RATE`).
+    """
+    documents = history_documents(directory)
+    controllers = list(BENCH_CONTROLLERS)
+    for _, document in documents:  # matrices may grow; keep them visible
+        for name in controller_rates(document):
+            if name not in controllers:
+                controllers.append(name)
+    header = ["document"] + controllers + ["suite", "vs seed"]
+    rows = [header]
+    for path, document in documents:
+        rates = controller_rates(document)
+        suite = document.get("suite_accesses_per_s")
+        row = [os.path.basename(path)]
+        row += [f"{rates[name]:,.0f}" if name in rates else "-"
+                for name in controllers]
+        if isinstance(suite, (int, float)) and suite > 0:
+            row += [f"{suite:,.0f}", f"{suite / SEED_SUITE_RATE:.2f}x"]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for number, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)).rstrip())
+        if number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    lines.append(f"(speedups vs the seed tree's instrumented loop, "
+                 f"{SEED_SUITE_RATE:,.0f} acc/s on the reference host)")
+    return "\n".join(lines)

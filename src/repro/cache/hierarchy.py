@@ -8,6 +8,13 @@ The hierarchy serves *block* requests and reports whether DRAM must be
 involved (``l3_miss``); the memory controller owns everything below.  Dirty
 L3 victims surface as ``dram_writebacks`` so the controller can model write
 traffic and compressed-page bookkeeping.
+
+Storage is columnar (``sa_cache.SetAssociativeCache``): the fill helpers
+and fast twins below write the flat tag/flag columns and per-set recency
+order lists directly -- no :class:`CacheLine` objects move between
+levels.  Any change to the fill semantics must be mirrored in
+``ReferenceSetAssociativeCache`` (the readable spec) and stays pinned by
+the differential property tests and the fast-vs-slow goldens.
 """
 
 from __future__ import annotations
@@ -71,6 +78,9 @@ class CacheHierarchy:
         self._next_line = NextLinePrefetcher()
         self._stride_l1 = StridePrefetcher(degree=config.l1_stride_degree)
         self._stride_l2 = StridePrefetcher(degree=config.l2_stride_degree)
+        #: ``config.enable_prefetch`` is fixed at construction; the fast
+        #: path reads this attribute to skip the dataclass field load.
+        self._prefetch_on = config.enable_prefetch
 
     # ------------------------------------------------------------------
     # Main access path
@@ -138,21 +148,23 @@ class CacheHierarchy:
         stat state transition must stay identical to :meth:`access` (the
         fast-path contract, ``docs/performance.md``).
         """
-        if self.config.enable_prefetch:
+        if self._prefetch_on:
             outstanding = self._next_line._outstanding
             if block in outstanding:
                 outstanding[block] = True
 
         l1 = self.l1
-        entries = l1._sets[block & (l1.num_sets - 1)]
-        line = entries.get(block)
+        slot = l1._index.get(block)
         stats = l1.stats
         stats.total += 1
-        if line is not None:
+        if slot is not None:
             stats.hits += 1
-            entries.move_to_end(block)
+            order = l1._orders[block & (l1.num_sets - 1)]
+            if order[-1] != slot:
+                order.remove(slot)
+                order.append(slot)
             if is_write:
-                line.dirty = True
+                l1._dirty[slot] = 1
             return 0
         return self.access_fast_miss(block, is_write, is_ptb, writebacks)
 
@@ -163,40 +175,81 @@ class CacheHierarchy:
         Split out so the fast replay loop can inline the (hot, trivial)
         next-line training + L1 probe and only pay a call on a miss.
         """
-        if self.config.enable_prefetch:
+        if self._prefetch_on:
             # _prefetch_candidates_l1 issued in candidate order; issuing
             # next-line candidates before training the L1 stride table is
             # equivalent because prefetchers never read cache contents.
-            self._issue_prefetches(self._next_line.on_miss(block), writebacks)
-            self._issue_prefetches(self._stride_l1.on_access(block), writebacks)
+            # NextLinePrefetcher.on_miss + the single-block issue are
+            # inlined (retire may flip ``_enabled``, so it runs first).
+            nl = self._next_line
+            outstanding = nl._outstanding
+            if len(outstanding) > nl.window:
+                nl._retire_oldest_if_full()
+            if nl._enabled:
+                target = block + 1
+                outstanding[target] = False
+                if (target not in self.l1._index
+                        and target not in self.l2._index):
+                    l3 = self.l3
+                    slot = l3._index.pop(target, None)
+                    if slot is not None:
+                        set_index = target & (l3.num_sets - 1)
+                        l3._orders[set_index].remove(slot)
+                        l3._free[set_index].append(slot)
+                        l3._tags[slot] = -1
+                        self._fill_l2(target, l3._dirty[slot],
+                                      l3._compressed[slot], l3._is_ptb[slot],
+                                      writebacks)
+                    else:
+                        self._fill_l2(target, dirty=False, compressed=False,
+                                      is_ptb=False, writebacks=writebacks)
+            else:
+                nl._cooloff += 1
+                if nl._cooloff >= nl.window:
+                    nl._enabled = True
+                    nl._cooloff = 0
+                    nl._recent_results.clear()
+            candidates = self._stride_l1.on_access(block)
+            if candidates:
+                self._issue_prefetches(candidates, writebacks)
 
         l2 = self.l2
-        entries = l2._sets[block & (l2.num_sets - 1)]
-        line = entries.get(block)
+        slot = l2._index.get(block)
         stats = l2.stats
         stats.total += 1
-        if line is not None:
+        if slot is not None:
             stats.hits += 1
-            entries.move_to_end(block)
-            self._fill_l1(block, is_write, line.compressed, line.is_ptb, writebacks)
+            order = l2._orders[block & (l2.num_sets - 1)]
+            if order[-1] != slot:
+                order.remove(slot)
+                order.append(slot)
+            self._fill_l1(block, is_write, l2._compressed[slot],
+                          l2._is_ptb[slot], writebacks)
             return 1
 
-        if self.config.enable_prefetch:
-            self._issue_prefetches(self._stride_l2.on_access(block), writebacks)
+        if self._prefetch_on:
+            candidates = self._stride_l2.on_access(block)
+            if candidates:
+                self._issue_prefetches(candidates, writebacks)
 
         l3 = self.l3
-        entries = l3._sets[block & (l3.num_sets - 1)]
-        moved = entries.get(block)
+        slot = l3._index.pop(block, None)
         stats = l3.stats
         stats.total += 1
-        if moved is not None:
+        if slot is not None:
             stats.hits += 1
             # lookup-then-invalidate collapses to one removal: the
             # lookup's recency bump is dead state on a leaving line.
-            del entries[block]
-            self._fill_l2(block, moved.dirty, moved.compressed,
-                          moved.is_ptb, writebacks)
-            self._fill_l1(block, is_write, moved.compressed, moved.is_ptb,
+            set_index = block & (l3.num_sets - 1)
+            l3._orders[set_index].remove(slot)
+            l3._free[set_index].append(slot)
+            l3._tags[slot] = -1
+            moved_dirty = l3._dirty[slot]
+            moved_compressed = l3._compressed[slot]
+            moved_ptb = l3._is_ptb[slot]
+            self._fill_l2(block, moved_dirty, moved_compressed, moved_ptb,
+                          writebacks)
+            self._fill_l1(block, is_write, moved_compressed, moved_ptb,
                           writebacks)
             return 2
 
@@ -210,82 +263,148 @@ class CacheHierarchy:
     # Fill helpers (inclusive L2, exclusive L3)
     # ------------------------------------------------------------------
 
-    # The fill helpers inline :meth:`SetAssociativeCache.fill` (and the
-    # peek/invalidate of the inclusion maintenance): they sit under every
-    # L1 miss of the replay loop, and the extra call layers dominated the
+    # The fill helpers write the columnar state directly: they sit under
+    # every L1 miss of the replay loop, and both the object graph and the
+    # call layers of the original per-line implementation dominated the
     # hierarchy's profile.  Any change to the fill semantics must be
-    # mirrored in ``sa_cache.py``.
+    # mirrored in ``ReferenceSetAssociativeCache`` (``sa_cache.py``).
 
-    def _fill_l1(self, block: int, is_write: bool, compressed: bool,
-                 is_ptb: bool, writebacks: List[int]) -> None:
+    def _fill_l1(self, block: int, is_write: bool, compressed, is_ptb,
+                 writebacks: List[int]) -> None:
         l1 = self.l1
-        entries = l1._sets[block & (l1.num_sets - 1)]
-        line = entries.get(block)
-        if line is not None:  # refresh in place
-            entries.move_to_end(block)
-            line.dirty = line.dirty or is_write
-            line.compressed = compressed
-            line.is_ptb = line.is_ptb or is_ptb
+        index = l1._index
+        slot = index.get(block)
+        if slot is not None:  # refresh in place
+            order = l1._orders[block & (l1.num_sets - 1)]
+            if order[-1] != slot:
+                order.remove(slot)
+                order.append(slot)
+            if is_write:
+                l1._dirty[slot] = 1
+            l1._compressed[slot] = 1 if compressed else 0
+            if is_ptb:
+                l1._is_ptb[slot] = 1
             return
-        victim = None
-        if len(entries) >= l1.associativity:
-            _, victim = entries.popitem(last=False)
-        entries[block] = CacheLine(block, dirty=is_write,
-                                   compressed=compressed, is_ptb=is_ptb)
-        if victim is not None and victim.dirty:
+        set_index = block & (l1.num_sets - 1)
+        order = l1._orders[set_index]
+        victim_block = -1
+        if len(order) >= l1.associativity:
+            slot = order.pop(0)
+            victim_dirty = l1._dirty[slot]
+            if victim_dirty:
+                victim_block = l1._tags[slot]
+                victim_compressed = l1._compressed[slot]
+                victim_ptb = l1._is_ptb[slot]
+                del index[victim_block]
+            else:
+                del index[l1._tags[slot]]
+        else:
+            slot = l1._free[set_index].pop()
+        try:
+            l1._tags[slot] = block
+        except OverflowError:  # beyond int64: demote via the slow helper
+            l1._store_tag(slot, block)
+        l1._dirty[slot] = 1 if is_write else 0
+        l1._compressed[slot] = 1 if compressed else 0
+        l1._is_ptb[slot] = 1 if is_ptb else 0
+        index[block] = slot
+        order.append(slot)
+        if victim_block >= 0:
             # Inclusive L2 holds the line; merge the dirty data down.
             l2 = self.l2
-            l2_line = l2._sets[victim.block & (l2.num_sets - 1)].get(victim.block)
-            if l2_line is not None:
-                l2_line.dirty = True
+            l2_slot = l2._index.get(victim_block)
+            if l2_slot is not None:
+                l2._dirty[l2_slot] = 1
             else:
                 # L2 already evicted it (rare ordering); send to L3.
-                self._victim_to_l3(victim, writebacks)
+                self._victim_to_l3(victim_block, True, victim_compressed,
+                                   victim_ptb, writebacks)
 
-    def _fill_l2(self, block: int, dirty: bool, compressed: bool,
-                 is_ptb: bool, writebacks: List[int]) -> None:
+    def _fill_l2(self, block: int, dirty, compressed, is_ptb,
+                 writebacks: List[int]) -> None:
         l2 = self.l2
-        entries = l2._sets[block & (l2.num_sets - 1)]
-        line = entries.get(block)
-        if line is not None:  # refresh in place
-            entries.move_to_end(block)
-            line.dirty = line.dirty or dirty
-            line.compressed = compressed
-            line.is_ptb = line.is_ptb or is_ptb
+        index = l2._index
+        slot = index.get(block)
+        if slot is not None:  # refresh in place
+            order = l2._orders[block & (l2.num_sets - 1)]
+            if order[-1] != slot:
+                order.remove(slot)
+                order.append(slot)
+            if dirty:
+                l2._dirty[slot] = 1
+            l2._compressed[slot] = 1 if compressed else 0
+            if is_ptb:
+                l2._is_ptb[slot] = 1
             return
-        victim = None
-        if len(entries) >= l2.associativity:
-            _, victim = entries.popitem(last=False)
-        entries[block] = CacheLine(block, dirty=dirty, compressed=compressed,
-                                   is_ptb=is_ptb)
-        if victim is not None:
+        set_index = block & (l2.num_sets - 1)
+        order = l2._orders[set_index]
+        victim_block = -1
+        if len(order) >= l2.associativity:
+            slot = order.pop(0)
+            victim_block = l2._tags[slot]
+            victim_dirty = l2._dirty[slot]
+            victim_compressed = l2._compressed[slot]
+            victim_ptb = l2._is_ptb[slot]
+            del index[victim_block]
+        else:
+            slot = l2._free[set_index].pop()
+        try:
+            l2._tags[slot] = block
+        except OverflowError:  # beyond int64: demote via the slow helper
+            l2._store_tag(slot, block)
+        l2._dirty[slot] = 1 if dirty else 0
+        l2._compressed[slot] = 1 if compressed else 0
+        l2._is_ptb[slot] = 1 if is_ptb else 0
+        index[block] = slot
+        order.append(slot)
+        if victim_block >= 0:
             # Inclusive: purge the L1 copy; its dirtiness rides along.
             l1 = self.l1
-            l1_copy = l1._sets[victim.block & (l1.num_sets - 1)].pop(
-                victim.block, None)
-            if l1_copy is not None and l1_copy.dirty:
-                victim.dirty = True
-            self._victim_to_l3(victim, writebacks)
+            l1_slot = l1._index.pop(victim_block, None)
+            if l1_slot is not None:
+                l1_set = victim_block & (l1.num_sets - 1)
+                l1._orders[l1_set].remove(l1_slot)
+                l1._free[l1_set].append(l1_slot)
+                l1._tags[l1_slot] = -1
+                if l1._dirty[l1_slot]:
+                    victim_dirty = True
+            self._victim_to_l3(victim_block, victim_dirty, victim_compressed,
+                               victim_ptb, writebacks)
 
-    def _victim_to_l3(self, victim: CacheLine, writebacks: List[int]) -> None:
+    def _victim_to_l3(self, block: int, dirty, compressed, is_ptb,
+                      writebacks: List[int]) -> None:
         l3 = self.l3
-        block = victim.block
-        entries = l3._sets[block & (l3.num_sets - 1)]
-        line = entries.get(block)
-        if line is not None:  # refresh in place
-            entries.move_to_end(block)
-            line.dirty = line.dirty or victim.dirty
-            line.compressed = victim.compressed
-            line.is_ptb = line.is_ptb or victim.is_ptb
+        index = l3._index
+        slot = index.get(block)
+        if slot is not None:  # refresh in place
+            order = l3._orders[block & (l3.num_sets - 1)]
+            if order[-1] != slot:
+                order.remove(slot)
+                order.append(slot)
+            if dirty:
+                l3._dirty[slot] = 1
+            l3._compressed[slot] = 1 if compressed else 0
+            if is_ptb:
+                l3._is_ptb[slot] = 1
             return
-        l3_victim = None
-        if len(entries) >= l3.associativity:
-            _, l3_victim = entries.popitem(last=False)
-        # The victim object itself moves into L3: it is unreferenced after
-        # this call and the fill would copy its fields verbatim anyway.
-        entries[block] = victim
-        if l3_victim is not None and l3_victim.dirty:
-            writebacks.append(l3_victim.block)
+        set_index = block & (l3.num_sets - 1)
+        order = l3._orders[set_index]
+        if len(order) >= l3.associativity:
+            slot = order.pop(0)
+            if l3._dirty[slot]:
+                writebacks.append(l3._tags[slot])
+            del index[l3._tags[slot]]
+        else:
+            slot = l3._free[set_index].pop()
+        try:
+            l3._tags[slot] = block
+        except OverflowError:  # beyond int64: demote via the slow helper
+            l3._store_tag(slot, block)
+        l3._dirty[slot] = 1 if dirty else 0
+        l3._compressed[slot] = 1 if compressed else 0
+        l3._is_ptb[slot] = 1 if is_ptb else 0
+        index[block] = slot
+        order.append(slot)
 
     # ------------------------------------------------------------------
     # Prefetch
@@ -301,16 +420,21 @@ class CacheHierarchy:
         if not blocks:
             return
         l1, l2, l3 = self.l1, self.l2, self.l3
+        l1_index = l1._index
+        l2_index = l2._index
+        l3_index = l3._index
         for block in blocks:
-            if block in l1._sets[block & (l1.num_sets - 1)]:
+            if block in l1_index or block in l2_index:
                 continue
-            if block in l2._sets[block & (l2.num_sets - 1)]:
-                continue
-            # contains + invalidate collapse to one pop.
-            moved = l3._sets[block & (l3.num_sets - 1)].pop(block, None)
-            if moved is not None:
-                self._fill_l2(block, moved.dirty, moved.compressed,
-                              moved.is_ptb, writebacks)
+            # contains + invalidate collapse to one removal.
+            slot = l3_index.pop(block, None)
+            if slot is not None:
+                set_index = block & (l3.num_sets - 1)
+                l3._orders[set_index].remove(slot)
+                l3._free[set_index].append(slot)
+                l3._tags[slot] = -1
+                self._fill_l2(block, l3._dirty[slot], l3._compressed[slot],
+                              l3._is_ptb[slot], writebacks)
             else:
                 self._fill_l2(block, dirty=False, compressed=False,
                               is_ptb=False, writebacks=writebacks)
@@ -327,10 +451,11 @@ class CacheHierarchy:
     def mark_compressed(self, address: int, compressed: bool = True) -> None:
         """Set the compressed-PTB data bit on whichever copies exist."""
         block = address >> 6
+        flag = 1 if compressed else 0
         for cache in (self.l1, self.l2, self.l3):
-            line = cache.peek(block)
-            if line is not None:
-                line.compressed = compressed
+            slot = cache._index.get(block)
+            if slot is not None:
+                cache._compressed[slot] = flag
 
     def invalidate_everywhere(self, address: int) -> None:
         block = address >> 6

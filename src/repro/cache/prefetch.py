@@ -11,8 +11,7 @@ trained in practice.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.common.registry import Registry
 
@@ -38,7 +37,8 @@ class NextLinePrefetcher:
     def __init__(self, window: int = 64, min_accuracy: float = 0.25) -> None:
         self.window = window
         self.min_accuracy = min_accuracy
-        self._outstanding: "OrderedDict[int, bool]" = OrderedDict()
+        #: Insertion-ordered (plain dict); oldest prefetch retires first.
+        self._outstanding: Dict[int, bool] = {}
         self._recent_results: List[bool] = []
         self._enabled = True
         self._cooloff = 0
@@ -54,7 +54,9 @@ class NextLinePrefetcher:
 
     def on_miss(self, block: int) -> List[int]:
         """Return blocks to prefetch for a demand miss at ``block``."""
-        self._retire_oldest_if_full()
+        outstanding = self._outstanding
+        if len(outstanding) > self.window:
+            self._retire_oldest_if_full()
         if not self._enabled:
             self._cooloff += 1
             if self._cooloff >= self.window:
@@ -63,18 +65,21 @@ class NextLinePrefetcher:
                 self._recent_results.clear()
             return []
         target = block + 1
-        self._outstanding[target] = False
+        outstanding[target] = False
         return [target]
 
     def _retire_oldest_if_full(self) -> None:
-        while len(self._outstanding) > self.window:
-            _, used = self._outstanding.popitem(last=False)
-            self._recent_results.append(used)
-            if len(self._recent_results) >= self.window:
-                accuracy = sum(self._recent_results) / len(self._recent_results)
+        outstanding = self._outstanding
+        results = self._recent_results
+        window = self.window
+        while len(outstanding) > window:
+            used = outstanding.pop(next(iter(outstanding)))
+            results.append(used)
+            if len(results) >= window:
+                accuracy = sum(results) / len(results)
                 if accuracy < self.min_accuracy:
                     self._enabled = False
-                self._recent_results.clear()
+                results.clear()
 
 
 @register_prefetcher
@@ -93,27 +98,29 @@ class StridePrefetcher:
             raise ValueError("degree must be >= 1")
         self.degree = degree
         self.table_entries = table_entries
-        #: region -> (last block, stride, confirmed)
-        self._table: "OrderedDict[int, tuple]" = OrderedDict()
+        #: region -> (last block, stride, confirmed); insertion order is
+        #: recency order (pop + reinsert on every touch), oldest evicts.
+        self._table: Dict[int, Tuple[int, int, bool]] = {}
 
     def on_access(self, block: int) -> List[int]:
         """Observe a demand access; return blocks to prefetch."""
         region = block >> 6  # 64 blocks = 4 KB region
         table = self._table
+        entries = self.table_entries
         entry = table.pop(region, None)
         if entry is None:
             table[region] = (block, 0, False)
-            if len(table) > self.table_entries:
-                table.popitem(last=False)
+            if len(table) > entries:
+                del table[next(iter(table))]
             return []
         new_stride = block - entry[0]
         if new_stride != 0 and new_stride == entry[1]:
             table[region] = (block, new_stride, True)
-            if len(table) > self.table_entries:
-                table.popitem(last=False)
+            if len(table) > entries:
+                del table[next(iter(table))]
             return [p for i in range(self.degree)
                     if (p := block + new_stride * (i + 1)) >= 0]
         table[region] = (block, new_stride, False)
-        if len(table) > self.table_entries:
-            table.popitem(last=False)
+        if len(table) > entries:
+            del table[next(iter(table))]
         return []

@@ -776,11 +776,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_to_baseline,
         default_output_name,
         load_document,
+        render_history,
         run_suite,
         write_document,
     )
     from repro.common.errors import ConfigError
 
+    if args.history is not None:
+        try:
+            print(render_history(args.history))
+        except ConfigError as error:
+            print(f"error (config): {error}", file=sys.stderr)
+            return 2
+        return 0
     try:
         if not 0.0 <= args.max_regression < 1.0:
             raise ConfigError(f"--max-regression must be in [0, 1), "
@@ -1026,6 +1034,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed fractional slowdown vs the "
                             "baseline (default: 0.20)")
+    bench.add_argument("--history", nargs="?", const="benchmarks/perf",
+                       metavar="DIR",
+                       help="print the committed BENCH_*.json trajectory "
+                            "table (per-controller acc/s, speedup vs the "
+                            "seed tree) instead of running the suite "
+                            "(default DIR: benchmarks/perf)")
 
     trace = commands.add_parser(
         "trace", help="export a workload trace / simulate a trace file")

@@ -56,12 +56,16 @@ class BitWriter:
             raise ValueError(f"width must be non-negative, got {width}")
         if value < 0 or value >> width:
             raise ValueError(f"value {value:#x} does not fit in {width} bits")
-        self._accumulator = (self._accumulator << width) | value
-        self._pending_bits += width
-        while self._pending_bits >= 8:
-            self._pending_bits -= 8
-            self._buffer.append((self._accumulator >> self._pending_bits) & 0xFF)
-        self._accumulator &= mask(self._pending_bits)
+        accumulator = (self._accumulator << width) | value
+        pending = self._pending_bits + width
+        if pending >= 8:
+            buffer = self._buffer
+            while pending >= 8:
+                pending -= 8
+                buffer.append((accumulator >> pending) & 0xFF)
+            accumulator &= (1 << pending) - 1
+        self._accumulator = accumulator
+        self._pending_bits = pending
 
     def write_bytes(self, data: bytes) -> None:
         """Append whole bytes (each written as an 8-bit code)."""

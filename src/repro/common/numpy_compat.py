@@ -1,0 +1,38 @@
+"""Central numpy import gate.
+
+Every consumer of numpy in the hot path imports it from here instead of
+importing ``numpy`` directly, so one switch controls all of them:
+
+- when numpy is not installed, ``np`` is ``None`` and callers take their
+  pure-python columnar fallbacks;
+- when the ``REPRO_NO_NUMPY`` environment variable is set (to anything
+  non-empty), numpy is masked out even if installed.  CI uses this to
+  run the bench gate and the fast-vs-slow goldens a second time against
+  the pure-python paths, which would otherwise only be exercised on
+  hosts without numpy.
+
+``numpy_available()`` re-reads the environment so tests can flip the
+variable with ``monkeypatch.setenv``; module-level ``np`` is resolved
+once at import for the common case.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _numpy = None
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when missing or masked out."""
+    if _numpy is None or os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    return _numpy
+
+
+#: Resolved once at import time; hot paths that cannot afford a call may
+#: use this, but anything testable should call :func:`numpy_or_none`.
+np = numpy_or_none()

@@ -21,6 +21,7 @@ from repro.core.pipeline import (
     ServiceTimeline,
     Stage,
     StageAccounting,
+    StageTotals,
     evaluate,
 )
 from repro.core.resilience import ResilienceState
@@ -107,6 +108,16 @@ class MemoryController:
         #: ppn -> nominal DRAM page for address formation.
         self._dram_page: Dict[int, int] = {}
         self._cte_table_base = 0  # set at initialize()
+        #: Fast-path stat sinks, bound lazily on first use so stat keys
+        #: are still created in the same order as the slow path (lazy
+        #: creation is observable in ``as_dict``).  Counters/histograms
+        #: reset in place (identity survives ``_reset_stats``), so the
+        #: bound objects and sample lists stay valid across the warm-up
+        #: boundary.
+        self._fast_path_counters: Dict[str, object] = {}
+        self._fast_hist_samples: Dict[str, list] = {}
+        self._fast_l3_counter = None
+        self._fast_miss_samples: Optional[list] = None
 
     def attach_instrumentation(self, probe) -> None:
         """Adopt a context-provided :class:`~repro.sim.instrument.Probe`.
@@ -329,17 +340,46 @@ class MemoryController:
 
     def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
                            is_write: bool = False):
-        """Serve an LLC miss on the fast path; returns ``(latency_ns, path)``."""
+        """Serve an LLC miss on the fast path; returns ``(latency_ns, path)``.
+
+        Stat sinks are bound lazily and cached; mutation *order* mirrors
+        :meth:`serve_l3_miss` exactly (stat keys are created in the same
+        sequence, which the ``--emit-json`` byte-equality golden sees).
+        """
         latency = self._dram_read_fast(self._data_address(ppn, block_index),
                                        now_ns)
-        stats = self.stats
-        stats.counter("l3_misses").value += 1
-        stats.histogram("miss_latency_ns").samples.append(latency)
+        counter = self._fast_l3_counter
+        if counter is None:
+            counter = self._fast_l3_counter = self.stats.counter("l3_misses")
+        counter.value += 1
+        samples = self._fast_miss_samples
+        if samples is None:
+            samples = self._fast_miss_samples = self.stats.histogram(
+                "miss_latency_ns").samples
+        samples.append(latency)
+        # record_span(PATH_CTE_HIT, STAGE_DATA_FETCH, latency, True,
+        # False, 0.0) + record_total(PATH_CTE_HIT, latency), inlined.
         accounting = self.stage_accounting
-        accounting.record_span(PATH_CTE_HIT, STAGE_DATA_FETCH, latency,
-                               True, False, 0.0)
-        accounting.record_total(PATH_CTE_HIT, latency)
-        self.stage_stats.histogram(_DATA_FETCH_NS_KEY).samples.append(latency)
+        paths = accounting._paths
+        stages = paths.get(PATH_CTE_HIT)
+        if stages is None:
+            stages = paths[PATH_CTE_HIT] = {}
+        totals = stages.get(STAGE_DATA_FETCH)
+        if totals is None:
+            totals = stages[STAGE_DATA_FETCH] = StageTotals()
+        totals.count += 1
+        totals.total_ns += latency
+        totals.critical_ns += latency
+        path_total = accounting._path_total_ns
+        path_total[PATH_CTE_HIT] = path_total.get(PATH_CTE_HIT, 0.0) + latency
+        path_count = accounting._path_count
+        path_count[PATH_CTE_HIT] = path_count.get(PATH_CTE_HIT, 0) + 1
+        hist_samples = self._fast_hist_samples
+        data_samples = hist_samples.get(_DATA_FETCH_NS_KEY)
+        if data_samples is None:
+            data_samples = hist_samples[_DATA_FETCH_NS_KEY] = (
+                self.stage_stats.histogram(_DATA_FETCH_NS_KEY).samples)
+        data_samples.append(latency)
         return latency, PATH_CTE_HIT
 
     def _finish_fast(self, path: str, spans, total_ns: float) -> None:
@@ -347,22 +387,63 @@ class MemoryController:
 
         ``spans`` is a sequence of ``(name, latency_ns, critical, wasted,
         slack_ns)`` tuples in the order the slow path would record them.
+        ``StageAccounting.record_span``/``record_total`` and the stage
+        histogram lookups are inlined against cached sinks: this runs
+        once per LLC miss and the get-or-create layers dominated it.
+        ``_paths`` & friends are cleared in place by the accounting's
+        ``reset()``, so holding the dicts themselves is safe.
         """
-        stats = self.stats
-        stats.counter(_PATH_COUNTER_KEY[path]).value += 1
+        counters = self._fast_path_counters
+        counter = counters.get(path)
+        if counter is None:
+            counter = counters[path] = self.stats.counter(
+                _PATH_COUNTER_KEY[path])
+        counter.value += 1
         accounting = self.stage_accounting
-        record_span = accounting.record_span
+        paths_dict = accounting._paths
+        stages = paths_dict.get(path)
+        if stages is None:
+            stages = paths_dict[path] = {}
+        hist_samples = self._fast_hist_samples
         histogram = self.stage_stats.histogram
         for name, latency_ns, critical, wasted, slack_ns in spans:
-            record_span(path, name, latency_ns, critical, wasted, slack_ns)
+            totals = stages.get(name)
+            if totals is None:
+                totals = stages[name] = StageTotals()
+            totals.count += 1
+            totals.total_ns += latency_ns
+            if critical:
+                totals.critical_ns += latency_ns
+            if wasted:
+                totals.wasted_ns += latency_ns
+            totals.slack_ns += slack_ns
             keys = _STAGE_KEYS.get(name)
             if keys is None:
                 keys = _STAGE_KEYS[name] = (
                     f"{name}.ns", f"{name}.wasted_ns", f"{name}.slack_ns")
-            histogram(keys[0]).samples.append(latency_ns)
+            key = keys[0]
+            samples = hist_samples.get(key)
+            if samples is None:
+                samples = hist_samples[key] = histogram(key).samples
+            samples.append(latency_ns)
             if wasted:
-                histogram(keys[1]).samples.append(latency_ns)
+                key = keys[1]
+                samples = hist_samples.get(key)
+                if samples is None:
+                    samples = hist_samples[key] = histogram(key).samples
+                samples.append(latency_ns)
             elif slack_ns:
-                histogram(keys[2]).samples.append(slack_ns)
-        accounting.record_total(path, total_ns)
-        stats.histogram("miss_latency_ns").samples.append(total_ns)
+                key = keys[2]
+                samples = hist_samples.get(key)
+                if samples is None:
+                    samples = hist_samples[key] = histogram(key).samples
+                samples.append(slack_ns)
+        path_total = accounting._path_total_ns
+        path_total[path] = path_total.get(path, 0.0) + total_ns
+        path_count = accounting._path_count
+        path_count[path] = path_count.get(path, 0) + 1
+        samples = self._fast_miss_samples
+        if samples is None:
+            samples = self._fast_miss_samples = self.stats.histogram(
+                "miss_latency_ns").samples
+        samples.append(total_ns)

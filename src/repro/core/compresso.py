@@ -172,7 +172,10 @@ class CompressoController(MemoryController):
     def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
                            is_write: bool = False):
         """Zero-observer twin of :meth:`serve_l3_miss` (see base.py)."""
-        self.stats.counter("l3_misses").value += 1
+        counter = self._fast_l3_counter
+        if counter is None:
+            counter = self._fast_l3_counter = self.stats.counter("l3_misses")
+        counter.value += 1
         cache = self.cte_cache
         block = ppn // cache.pages_per_block
         lru = cache._lru
@@ -201,19 +204,36 @@ class CompressoController(MemoryController):
     def _fetch_cte_serial_fast(self, ppn: int, now_ns: float) -> float:
         """:meth:`_fetch_cte_serial_ns` via the allocation-free DRAM read."""
         stats = self.stats
+        counters = self._fast_path_counters
         if self.cte_victim_in_llc:
             block = ppn // self.cte_cache.pages_per_block
             victims = self._llc_victims
             if block in victims:
                 victims.move_to_end(block)
-                stats.counter("cte_llc_hits").value += 1
+                counter = counters.get("cte_llc_hits")
+                if counter is None:
+                    counter = counters["cte_llc_hits"] = stats.counter(
+                        "cte_llc_hits")
+                counter.value += 1
                 return self.LLC_ACCESS_NS
-            stats.counter("cte_llc_misses").value += 1
-            stats.counter("cte_dram_fetches").value += 1
+            counter = counters.get("cte_llc_misses")
+            if counter is None:
+                counter = counters["cte_llc_misses"] = stats.counter(
+                    "cte_llc_misses")
+            counter.value += 1
+            counter = counters.get("cte_dram_fetches")
+            if counter is None:
+                counter = counters["cte_dram_fetches"] = stats.counter(
+                    "cte_dram_fetches")
+            counter.value += 1
             return self.LLC_ACCESS_NS + self._dram_read_fast(
                 self._cte_address(ppn, CTE_SIZE_BLOCKLEVEL), now_ns,
                 include_noc=False)
-        stats.counter("cte_dram_fetches").value += 1
+        counter = counters.get("cte_dram_fetches")
+        if counter is None:
+            counter = counters["cte_dram_fetches"] = stats.counter(
+                "cte_dram_fetches")
+        counter.value += 1
         return self._dram_read_fast(
             self._cte_address(ppn, CTE_SIZE_BLOCKLEVEL), now_ns,
             include_noc=False)

@@ -20,7 +20,6 @@ On top of the two-level engine, TMCC adds its two contributions:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import (
@@ -69,9 +68,9 @@ class TMCCController(TwoLevelController):
         #: ``cte_slots`` mutate, and those are re-read on every harvest.
         self._ptb_harvest: Dict[int, tuple] = {}
         #: PPN -> (snapshot, owning PTB address); bounded FIFO (Figure 10).
-        self._cte_buffer: "OrderedDict[int, Tuple[Optional[tuple], int]]" = (
-            OrderedDict()
-        )
+        #: Plain dict: insertion order is recency order (delete + reinsert
+        #: on every touch), the oldest key evicts first.
+        self._cte_buffer: Dict[int, Tuple[Optional[tuple], int]] = {}
 
     # ------------------------------------------------------------------
     # Page-walk side: harvesting embedded CTEs
@@ -107,11 +106,11 @@ class TMCCController(TwoLevelController):
         # Inlined _buffer_insert: one pop per insert, exactly as before.
         for ppn, slot in pairs:
             if ppn in buffer:
-                buffer.move_to_end(ppn)
+                del buffer[ppn]  # re-inserting below moves it to MRU
             buffer[ppn] = (slots[slot] if slot is not None else None,
                            ptb_address)
             if len(buffer) > CTE_BUFFER_ENTRIES:
-                buffer.popitem(last=False)
+                del buffer[next(iter(buffer))]
 
     def _shadow_for(self, ptb_address: int, ptes: List[int]):
         if ptb_address in self._ptb_shadow:
@@ -147,11 +146,12 @@ class TMCCController(TwoLevelController):
 
     def _buffer_insert(self, ppn: int, embedded: Optional[tuple],
                        ptb_address: int) -> None:
-        if ppn in self._cte_buffer:
-            self._cte_buffer.move_to_end(ppn)
-        self._cte_buffer[ppn] = (embedded, ptb_address)
-        while len(self._cte_buffer) > CTE_BUFFER_ENTRIES:
-            self._cte_buffer.popitem(last=False)
+        buffer = self._cte_buffer
+        if ppn in buffer:
+            del buffer[ppn]  # re-inserting below moves it to MRU
+        buffer[ppn] = (embedded, ptb_address)
+        while len(buffer) > CTE_BUFFER_ENTRIES:
+            del buffer[next(iter(buffer))]
 
     # ------------------------------------------------------------------
     # Miss side: parallel speculative access (Figures 8b/8c, 11)

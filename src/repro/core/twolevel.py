@@ -283,7 +283,10 @@ class TwoLevelController(MemoryController):
 
     def serve_l3_miss_fast(self, ppn: int, block_index: int, now_ns: float,
                            is_write: bool = False):
-        self.stats.counter("l3_misses").value += 1
+        counter = self._fast_l3_counter
+        if counter is None:
+            counter = self._fast_l3_counter = self.stats.counter("l3_misses")
+        counter.value += 1
         cte = self._cte.get(ppn)
         if cte is None:  # page unknown to the controller (e.g. I/O space)
             latency = self._dram_read_fast(
@@ -324,8 +327,8 @@ class TwoLevelController(MemoryController):
                 lru.move_to_end(block)
             else:
                 if len(lru) >= cache.capacity_blocks:
-                    lru.popitem(last=False)
-                lru[block] = True
+                    lru.pop_lru()
+                lru.insert_mru(block)
 
         if not cte.in_ml2 and not cte.is_incompressible:
             self.recency.on_access(ppn)
@@ -348,7 +351,12 @@ class TwoLevelController(MemoryController):
         return spans, cte_lat + data_lat, PATH_SERIAL_NO_CTE
 
     def _fetch_cte_fast(self, ppn: int, now_ns: float) -> float:
-        self.stats.counter("cte_dram_fetches").value += 1
+        counters = self._fast_path_counters
+        counter = counters.get("cte_dram_fetches")
+        if counter is None:
+            counter = counters["cte_dram_fetches"] = self.stats.counter(
+                "cte_dram_fetches")
+        counter.value += 1
         return self._dram_read_fast(
             self._cte_address(ppn, CTE_SIZE_PAGE), now_ns, include_noc=False)
 

@@ -121,6 +121,10 @@ class DRAMSystem:
         #: stat keys only exist once the matching request type happened.
         self._busy_counters: Dict[int, Counter] = {}
         self._read_stats: Optional[Tuple[Counter, RatioStat, Histogram]] = None
+        #: Timing constants the fast read re-derives per call otherwise;
+        #: snapshotted lazily (first fast read) so late config tweaks
+        #: before the first access still take effect.
+        self._read_consts: Optional[tuple] = None
 
     def _bank_at(self, channel_index: int, bank_key: Tuple[int, int]) -> _Bank:
         """Get-or-create without ``setdefault`` (which would allocate a
@@ -227,33 +231,44 @@ class DRAMSystem:
         :meth:`read`, but returns only the total latency and allocates no
         :class:`ReadResult`.  Must stay metric-identical to :meth:`read`
         (see ``docs/performance.md``)."""
-        config = self.config
-        timing = config.timing
+        consts = self._read_consts
+        if consts is None:
+            config = self.config
+            timing = config.timing
+            consts = self._read_consts = (
+                timing.row_hit_ns, timing.row_closed_ns,
+                timing.row_conflict_ns, timing.burst_ns, timing.noc_ns,
+                config.row_size, config.row_cap,
+                config.ranks_per_channel, config.banks_per_rank,
+                int(timing.burst_ns * 1000),
+            )
+        (row_hit_ns, row_closed_ns, row_conflict_ns, burst_ns, noc_ns,
+         row_size, row_cap, ranks, banks_per_rank, busy_inc) = consts
         if self._single_channel:
             channel_index = 0
             local = address
         else:
             _, channel_index, local = self._route(address)
-        row = local // config.row_size
+        row = local // row_size
         bank_key = (
-            ((local >> 13) ^ (local >> 17)) % config.ranks_per_channel,
-            ((local >> 15) ^ (local >> 19)) % config.banks_per_rank,
+            ((local >> 13) ^ (local >> 17)) % ranks,
+            ((local >> 15) ^ (local >> 19)) % banks_per_rank,
         )
         banks = self._banks[channel_index]
         bank = banks.get(bank_key)
         if bank is None:
             bank = banks[bank_key] = _Bank()
 
-        if bank.open_row == row and bank.consecutive_hits < config.row_cap:
-            bank_ns = timing.row_hit_ns
+        if bank.open_row == row and bank.consecutive_hits < row_cap:
+            bank_ns = row_hit_ns
             bank.consecutive_hits += 1
             row_hit = True
         elif bank.open_row == -1:
-            bank_ns = timing.row_closed_ns
+            bank_ns = row_closed_ns
             bank.consecutive_hits = 1
             row_hit = False
         else:
-            bank_ns = timing.row_conflict_ns
+            bank_ns = row_conflict_ns
             bank.consecutive_hits = 1
             row_hit = False
         bank.open_row = row
@@ -264,7 +279,7 @@ class DRAMSystem:
             state[1] = drained if drained > 0.0 else 0.0
             state[0] = now_ns
         queue_ns = state[1]
-        state[1] = queue_ns + timing.burst_ns
+        state[1] = queue_ns + burst_ns
 
         if now_ns > bank.last_ns:
             drained = bank.backlog_ns - (now_ns - bank.last_ns)
@@ -273,9 +288,26 @@ class DRAMSystem:
         bank_wait = bank.backlog_ns
         bank.backlog_ns = bank_wait + bank_ns
 
-        latency = queue_ns + bank_wait + bank_ns + timing.noc_ns
-        self._record_read(channel_index, latency, row_hit,
-                          int(timing.burst_ns * 1000))
+        latency = queue_ns + bank_wait + bank_ns + noc_ns
+
+        # _record_read, inlined (one call per LLC miss adds up).
+        stats = self._read_stats
+        if stats is None:
+            stats = self._read_stats = (
+                self.stats.counter("reads"),
+                self.stats.ratio("row_buffer"),
+                self.stats.histogram("read_latency_ns"),
+            )
+        reads, row_buffer, latency_hist = stats
+        reads.value += 1
+        row_buffer.total += 1
+        if row_hit:
+            row_buffer.hits += 1
+        latency_hist.samples.append(latency)
+        counter = self._busy_counters.get(channel_index)
+        if counter is None:
+            counter = self._busy_counter(channel_index)
+        counter.value += busy_inc
         return latency
 
     def write(self, address: int, now_ns: float) -> None:

@@ -9,12 +9,17 @@ Translation reach per block is what separates the designs (Table III):
   128 KB cache -- and it still misses more.
 
 The cache is indexed by CTE-block number = ppn // pages_per_block.
+
+Storage is columnar (:class:`repro.common.lru.IntLRU`);
+``ReferenceCTECache`` keeps the ``OrderedDict`` original as the
+readable spec and differential-test oracle.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.common.lru import IntLRU
 from repro.common.stats import RatioStat
 from repro.common.units import BLOCK_SIZE, KIB
 
@@ -33,7 +38,7 @@ class CTECache:
         #: Pages covered by one cached 64 B block.
         self.pages_per_block = BLOCK_SIZE // cte_size
         self.capacity_blocks = size_bytes // BLOCK_SIZE
-        self._lru: "OrderedDict[int, bool]" = OrderedDict()
+        self._lru = IntLRU()  # CTE block id -> True
         self.stats = RatioStat(name)
 
     @property
@@ -46,7 +51,7 @@ class CTECache:
 
     def lookup(self, ppn: int) -> bool:
         """Probe for the CTE of page ``ppn``; records hit/miss."""
-        block = self._block_of(ppn)
+        block = ppn // self.pages_per_block
         hit = block in self._lru
         self.stats.record(hit)
         if hit:
@@ -55,7 +60,7 @@ class CTECache:
 
     def contains(self, ppn: int) -> bool:
         """Probe without recording a stat."""
-        return self._block_of(ppn) in self._lru
+        return ppn // self.pages_per_block in self._lru
 
     def fill(self, ppn: int) -> "int | None":
         """Cache the CTE block covering ``ppn`` (MC always caches fetched
@@ -64,6 +69,63 @@ class CTECache:
         Returns the evicted CTE block id, or ``None`` when nothing left
         the cache (so victim-spill schemes need no set difference).
         """
+        lru = self._lru
+        block = ppn // self.pages_per_block
+        if block in lru:
+            lru.move_to_end(block)
+            return None
+        victim = None
+        if len(lru) >= self.capacity_blocks:
+            victim = lru.pop_lru()
+        lru.insert_mru(block)
+        return victim
+
+    def invalidate_page(self, ppn: int) -> None:
+        self._lru.discard(ppn // self.pages_per_block)
+
+    def flush(self) -> None:
+        self._lru.clear()
+
+    @property
+    def occupancy_blocks(self) -> int:
+        return len(self._lru)
+
+
+class ReferenceCTECache:
+    """The original ``OrderedDict`` CTE cache (spec + oracle)."""
+
+    def __init__(self, size_bytes: int = 64 * KIB, cte_size: int = 8,
+                 name: str = "cte_cache") -> None:
+        if cte_size <= 0 or BLOCK_SIZE % cte_size:
+            raise ValueError(f"cte_size must divide {BLOCK_SIZE}, got {cte_size}")
+        if size_bytes < BLOCK_SIZE:
+            raise ValueError("cache smaller than one CTE block")
+        self.size_bytes = size_bytes
+        self.cte_size = cte_size
+        self.pages_per_block = BLOCK_SIZE // cte_size
+        self.capacity_blocks = size_bytes // BLOCK_SIZE
+        self._lru: "OrderedDict[int, bool]" = OrderedDict()
+        self.stats = RatioStat(name)
+
+    @property
+    def reach_pages(self) -> int:
+        return self.capacity_blocks * self.pages_per_block
+
+    def _block_of(self, ppn: int) -> int:
+        return ppn // self.pages_per_block
+
+    def lookup(self, ppn: int) -> bool:
+        block = self._block_of(ppn)
+        hit = block in self._lru
+        self.stats.record(hit)
+        if hit:
+            self._lru.move_to_end(block)
+        return hit
+
+    def contains(self, ppn: int) -> bool:
+        return self._block_of(ppn) in self._lru
+
+    def fill(self, ppn: int) -> "int | None":
         lru = self._lru
         block = ppn // self.pages_per_block
         if block in lru:

@@ -15,9 +15,9 @@ graceful grow/shrink behaviour (Section IV-A/B).
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ModelInvariantError
 from repro.common.units import PAGE_SIZE
@@ -27,7 +27,7 @@ class ML1FreeList:
     """Free 4 KB chunks, LIFO (freed chunks are reused first)."""
 
     def __init__(self) -> None:
-        self._chunks: Deque[int] = deque()
+        self._chunks: List[int] = []  # flat stack, top at the end
 
     def push(self, chunk: int) -> None:
         self._chunks.append(chunk)
@@ -133,12 +133,13 @@ class ML2FreeLists:
 
     def class_for(self, compressed_size: int) -> int:
         """Smallest size class that fits ``compressed_size`` bytes."""
-        for size in self.size_classes:
-            if compressed_size <= size:
-                return size
-        raise ValueError(
-            f"compressed size {compressed_size} exceeds the largest class"
-        )
+        classes = self.size_classes
+        idx = bisect_left(classes, compressed_size)
+        if idx == len(classes):
+            raise ValueError(
+                f"compressed size {compressed_size} exceeds the largest class"
+            )
+        return classes[idx]
 
     def alloc(self, compressed_size: int, ml1: ML1FreeList) -> Optional[SubChunk]:
         """Allocate a sub-chunk, growing from ML1 if needed.

@@ -10,9 +10,9 @@ with the same 1% probability (compressibility may have changed).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Optional
 
+from repro.common.lru import IntLRU
 from repro.common.registry import Registry
 from repro.common.rng import DeterministicRNG
 
@@ -38,7 +38,7 @@ class RecencyList:
                  sample_probability: float = 0.01) -> None:
         if not 0.0 <= sample_probability <= 1.0:
             raise ValueError("sample_probability must be in [0, 1]")
-        self._list: "OrderedDict[int, bool]" = OrderedDict()  # tail..head
+        self._list = IntLRU()  # columnar list, tail (cold) .. head (hot)
         self._rng = rng or DeterministicRNG(0xACCE55)
         self.sample_probability = sample_probability
 
@@ -50,8 +50,10 @@ class RecencyList:
 
     def push_hot(self, ppn: int) -> None:
         """Insert (or move) a page at the hot end."""
-        self._list.pop(ppn, None)
-        self._list[ppn] = True
+        if ppn in self._list:
+            self._list.move_to_end(ppn)
+        else:
+            self._list.insert_mru(ppn)
 
     def on_access(self, ppn: int) -> bool:
         """Maybe refresh recency for an ML1 access; True if sampled."""
@@ -64,21 +66,18 @@ class RecencyList:
 
     def evict_coldest(self) -> Optional[int]:
         """Pop the coldest page, or ``None`` when the list is empty."""
-        if not self._list:
-            return None
-        ppn, _ = self._list.popitem(last=False)
-        return ppn
+        return self._list.pop_lru()
 
     def remove(self, ppn: int) -> None:
         """Drop a page (e.g. it proved incompressible, or migrated out)."""
-        self._list.pop(ppn, None)
+        self._list.discard(ppn)
 
     def maybe_readd_after_writeback(self, ppn: int) -> bool:
         """1%-probability re-add of an incompressible page on writeback."""
         if ppn in self._list:
             return False
         if self._rng.chance(self.sample_probability):
-            self._list[ppn] = True
+            self._list.insert_mru(ppn)
             return True
         return False
 

@@ -25,33 +25,15 @@ this module.
 
 from __future__ import annotations
 
-try:  # numpy ships with the toolchain; fall back to pure python anyway
-    import numpy as _np
-except ImportError:  # pragma: no cover
-    _np = None
+from functools import reduce as _reduce
+from itertools import compress as _compress
+from operator import add as _add
 
 from repro.core.base import MemoryController, PATH_CTE_HIT
+from repro.sim.columns import trace_columns
 
-
-def _columns(trace, huge_pages: bool):
-    """Split the trace into (vpns, tags, block_indices, writes) columns."""
-    if _np is not None:
-        try:
-            vaddrs = _np.fromiter((record[0] for record in trace),
-                                  dtype=_np.int64, count=len(trace))
-        except OverflowError:  # addresses beyond int64: rare, stay portable
-            vaddrs = None
-        if vaddrs is not None:
-            vpns = (vaddrs >> 12).tolist()
-            tags = (vaddrs >> 21).tolist() if huge_pages else vpns
-            blocks = ((vaddrs & 0xFFF) >> 6).tolist()
-            writes = [record[1] for record in trace]
-            return vpns, tags, blocks, writes
-    vpns = [record[0] >> 12 for record in trace]
-    tags = [vpn >> 9 for vpn in vpns] if huge_pages else vpns
-    blocks = [(record[0] & 0xFFF) >> 6 for record in trace]
-    writes = [record[1] for record in trace]
-    return vpns, tags, blocks, writes
+#: Largest pre-classified chunk the batched front end will take at once.
+_MAX_CHUNK = 512
 
 
 def run_fast(sim, state) -> None:
@@ -77,12 +59,27 @@ def run_fast(sim, state) -> None:
            config.cycles_to_ns(l3_cycles), config.cycles_to_ns(l3_cycles))
 
     huge_pages = sim.huge_pages
-    vpns, tags, blocks, writes = _columns(trace, huge_pages)
+    vpns, tags, blocks, writes = trace_columns(trace, huge_pages)
+
+    # Global-block column: ppn * 64 + block_index, or -1 for unmapped
+    # vpns.  Translation is static while a run is in flight (same
+    # invariant the walk-path memo below relies on), so the whole column
+    # is precomputed once.
+    if huge_pages:
+        memo = {v: sim._translate_vpn(v) for v in set(vpns)}
+    else:
+        memo = sim._vpn_to_ppn
+    memo_get = memo.get
+    gblocks = [-1 if (p := memo_get(v)) is None else p * 64 + b
+               for v, b in zip(vpns, blocks)]
 
     # Hoisted hot references (the slow loop re-resolves these per access).
     tlb = sim.tlb
     tlb_lru = tlb._lru
+    tlb_slots = tlb_lru._slot
     tlb_move = tlb_lru.move_to_end
+    tlb_insert = tlb_lru.insert_mru
+    tlb_pop = tlb_lru.pop_lru
     tlb_entries = tlb.entries
     tlb_stats = tlb.stats
     controller = sim.controller
@@ -95,9 +92,13 @@ def run_fast(sim, state) -> None:
     # its ingredients (CacheHierarchy.access_fast, first half).
     prefetch_on = hierarchy.config.enable_prefetch
     nl_outstanding = hierarchy._next_line._outstanding
-    l1_sets = hierarchy.l1._sets
-    l1_mask = hierarchy.l1.num_sets - 1
-    l1_stats = hierarchy.l1.stats
+    l1 = hierarchy.l1
+    l1_index = l1._index
+    l1_index_get = l1_index.get
+    l1_orders = l1._orders
+    l1_dirty = l1._dirty
+    l1_mask = l1.num_sets - 1
+    l1_stats = l1.stats
     lat_l1 = lat[0]
     walker = sim.walker
     walks_counter = walker.walks
@@ -118,11 +119,20 @@ def run_fast(sim, state) -> None:
     # embedded CTEs (everything but TMCC).
     do_note = (type(controller).note_ptb_fetch
                is not MemoryController.note_ptb_fetch)
-    translate = sim._translate_vpn
-    vpn_to_ppn_get = sim._vpn_to_ppn.get
     reset_stats = sim._reset_stats
     clock = sim.clock
     writebacks: list = []
+
+    # Batched front end ingredients: membership predicates (all C-level),
+    # the alternating (compute, stall * mlp) float increments of an
+    # L1-hit access, and the adaptive chunk width.
+    tlb_has = tlb_slots.__contains__
+    l1_has = l1_index.__contains__
+    nl_has = nl_outstanding.__contains__
+    from_keys = dict.fromkeys
+    batch_pairs = (compute_ns, lat_l1 * mlp) * _MAX_CHUNK
+    chunk = 64   # outer (TLB-hit) pre-classification width
+    lchunk = 8   # inner (L1-hit) window width
 
     now = clock.now_ns
     index = state.index
@@ -142,6 +152,139 @@ def run_fast(sim, state) -> None:
                 fig5_cte_misses = 0
                 fig5_after_tlb = 0
                 state.measure_start_ns = now
+
+            # -- batched front end ---------------------------------------
+            # Two-level chunk pre-classification.  Outer: the TLB-hit
+            # prefix of the next chunk (nothing ever invalidates TLB
+            # entries mid-run, and hits never change TLB membership, so
+            # the prefix stays valid however the accesses below unfold);
+            # its lookups/fills collapse to bulk stat sums plus one
+            # recency move per distinct tag (last occurrence wins).
+            # Inner: within the TLB-hit run, all-(mapped ∧ L1 hit)
+            # windows batch the same way; L1 *membership* only changes on
+            # a miss, so each window is valid up to its first predicted
+            # miss and the residue access runs through a per-access twin
+            # of the data tail, after which the window re-classifies.
+            # Chunks never straddle the warmup boundary.  Final state is
+            # identical to the scalar loop's: recency moves collapse to
+            # each key's last occurrence, stats are bulk sums, and the
+            # clock advances by the same alternating float adds in the
+            # same order.
+            end = index + chunk
+            if index < warmup_end < end:
+                end = warmup_end
+            if end > n:
+                end = n
+            span = end - index
+            if span >= 2:
+                seg_tags = tags[index:end]
+                tflags = list(map(tlb_has, seg_tags))
+                try:
+                    tp = tflags.index(False)
+                except ValueError:
+                    tp = span
+                # Streak-adaptive outer width.
+                chunk = 2 * tp + 2
+                if chunk > _MAX_CHUNK:
+                    chunk = _MAX_CHUNK
+                elif chunk < 16:
+                    chunk = 16
+                if tp:
+                    tlb_stats.total += tp
+                    tlb_stats.hits += tp
+                    for t in reversed(from_keys(
+                            reversed(seg_tags[:tp] if tp != span
+                                     else seg_tags))):
+                        tlb_move(t)
+                    stop = index + tp
+                    while index < stop:
+                        wend = index + lchunk
+                        if wend > stop:
+                            wend = stop
+                        seg_blocks = gblocks[index:wend]
+                        lflags = list(map(l1_has, seg_blocks))
+                        try:
+                            q = lflags.index(False)
+                        except ValueError:
+                            q = wend - index
+                        lchunk = 2 * q + 2
+                        if lchunk > 64:
+                            lchunk = 64
+                        elif lchunk < 4:
+                            lchunk = 4
+                        if q:
+                            if q != len(seg_blocks):
+                                seg_blocks = seg_blocks[:q]
+                            l1_stats.total += q
+                            l1_stats.hits += q
+                            for b in reversed(from_keys(
+                                    reversed(seg_blocks))):
+                                slot = l1_index[b]
+                                order = l1_orders[b & l1_mask]
+                                if order[-1] != slot:
+                                    order.remove(slot)
+                                    order.append(slot)
+                            if prefetch_on and nl_outstanding:
+                                for b in filter(nl_has, seg_blocks):
+                                    nl_outstanding[b] = True
+                            for b in _compress(seg_blocks,
+                                               writes[index:index + q]):
+                                l1_dirty[l1_index[b]] = 1
+                            now = _reduce(_add, batch_pairs[:2 * q], now)
+                            if index >= warmup_end:
+                                measured += q
+                            index += q
+                        if index < stop:
+                            # Residue inside a TLB-hit run: an unmapped
+                            # vpn or (far more often) an L1 miss.  Twin
+                            # of the data tail below, with the TLB work
+                            # already done and tlb_missed == False.
+                            now += compute_ns
+                            stall = 0.0
+                            block = gblocks[index]
+                            if block >= 0:
+                                is_write = writes[index]
+                                if prefetch_on and block in nl_outstanding:
+                                    nl_outstanding[block] = True
+                                slot = l1_index_get(block)
+                                l1_stats.total += 1
+                                if slot is not None:
+                                    l1_stats.hits += 1
+                                    order = l1_orders[block & l1_mask]
+                                    if order[-1] != slot:
+                                        order.remove(slot)
+                                        order.append(slot)
+                                    if is_write:
+                                        l1_dirty[slot] = 1
+                                    stall += lat_l1
+                                else:
+                                    del writebacks[:]
+                                    hit_level = access_miss(
+                                        block, is_write, False, writebacks)
+                                    stall += lat[hit_level]
+                                    if hit_level == 3:
+                                        l3_data_misses += 1
+                                        latency, path = serve_fast(
+                                            block >> 6, block & 63,
+                                            now + stall, is_write)
+                                        stall += latency
+                                        if path != PATH_CTE_HIT:
+                                            fig5_cte_misses += 1
+                                    if writebacks:
+                                        drain_at = now + stall
+                                        for block in writebacks:
+                                            serve_writeback(
+                                                block >> 6, block & 63,
+                                                drain_at)
+                            now += stall * mlp
+                            if index >= warmup_end:
+                                measured += 1
+                            index += 1
+                    if tp == span:
+                        continue
+                    # else: the access at ``index`` is a known TLB miss;
+                    # fall through to the full per-access twin.
+
             now += compute_ns
 
             vpn = vpns[index]
@@ -150,7 +293,7 @@ def run_fast(sim, state) -> None:
 
             # -- TLB lookup (TLB.lookup + TLB.fill, inlined) ------------
             tlb_stats.total += 1
-            if tag in tlb_lru:
+            if tag in tlb_slots:
                 tlb_stats.hits += 1
                 tlb_move(tag)
                 tlb_missed = False
@@ -201,31 +344,30 @@ def run_fast(sim, state) -> None:
                             note_ptb(level, ptb_address,
                                      table_ptb_at(ptb_address),
                                      walk_huge and level == 2)
-                if tag in tlb_lru:
+                if tag in tlb_slots:
                     tlb_move(tag)
-                    tlb_lru[tag] = 0
                 else:
-                    if len(tlb_lru) >= tlb_entries:
-                        tlb_lru.popitem(last=False)
-                    tlb_lru[tag] = 0
+                    if len(tlb_slots) >= tlb_entries:
+                        tlb_pop()
+                    tlb_insert(tag, 0)
 
             # -- data access (Simulator._one_access tail, inlined; the
             # L1-hit case is CacheHierarchy.access_fast unrolled) --------
-            ppn = translate(vpn) if huge_pages else vpn_to_ppn_get(vpn)
-            if ppn is not None:
-                block_index = blocks[index]
+            block = gblocks[index]
+            if block >= 0:
                 is_write = writes[index]
-                block = ppn * 64 + block_index
                 if prefetch_on and block in nl_outstanding:
                     nl_outstanding[block] = True
-                l1_entries = l1_sets[block & l1_mask]
-                line = l1_entries.get(block)
+                slot = l1_index_get(block)
                 l1_stats.total += 1
-                if line is not None:
+                if slot is not None:
                     l1_stats.hits += 1
-                    l1_entries.move_to_end(block)
+                    order = l1_orders[block & l1_mask]
+                    if order[-1] != slot:
+                        order.remove(slot)
+                        order.append(slot)
                     if is_write:
-                        line.dirty = True
+                        l1_dirty[slot] = 1
                     stall += lat_l1
                 else:
                     del writebacks[:]
@@ -234,7 +376,7 @@ def run_fast(sim, state) -> None:
                     stall += lat[hit_level]
                     if hit_level == 3:
                         l3_data_misses += 1
-                        latency, path = serve_fast(ppn, block_index,
+                        latency, path = serve_fast(block >> 6, block & 63,
                                                    now + stall, is_write)
                         stall += latency
                         if path != PATH_CTE_HIT:

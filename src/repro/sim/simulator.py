@@ -38,6 +38,7 @@ from repro.core.base import PATH_CTE_HIT
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
 from repro.dram.system import DRAMSystem
+from repro.sim.columns import decompose_vaddr
 from repro.sim.context import SimContext
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.results import SimResult
@@ -465,8 +466,7 @@ class Simulator:
         config = self.system
         bus = self.context.bus
         tracer = self.tracer
-        vpn = vaddr >> 12
-        tag = (vpn >> 9) if self.huge_pages else vpn
+        vpn, tag, block_index = decompose_vaddr(vaddr, self.huge_pages)
         stall_ns = 0.0
         tlb_missed = not self.tlb.lookup(tag)
 
@@ -494,7 +494,6 @@ class Simulator:
         stall_ns += config.cycles_to_ns(result.latency_cycles)
         if result.l3_miss:
             self._l3_data_misses += 1
-            block_index = (vaddr & (PAGE_SIZE - 1)) >> 6
             miss = self.controller.serve_l3_miss(
                 ppn, block_index, self.clock.now_ns + stall_ns, is_write
             )

@@ -4,6 +4,12 @@ The simulated system follows Table III: a single-level TLB enlarged to 2048
 entries (matching the total reach of AMD Zen 3's two-level TLB, which keeps
 simulated TLB hit rates honest against real machines) plus a 1 KB per-core
 page-walk cache modeled after [23].
+
+Both stores are columnar: an :class:`repro.common.lru.IntLRU` (flat
+parallel key/prev/next columns, O(1) exact LRU) replaces the
+``OrderedDict`` per structure.  ``ReferenceTLB`` keeps the original
+``OrderedDict`` implementation as the readable spec and the oracle for
+the differential property tests.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict
 
+from repro.common.lru import IntLRU
 from repro.common.stats import RatioStat
 
 
@@ -26,7 +33,7 @@ class TLB:
         if entries <= 0:
             raise ValueError("TLB needs at least one entry")
         self.entries = entries
-        self._lru: "OrderedDict[int, int]" = OrderedDict()
+        self._lru = IntLRU()  # tag -> ppn
         self.stats = RatioStat(name)
 
     def lookup(self, tag: int) -> bool:
@@ -43,6 +50,47 @@ class TLB:
 
     def fill(self, tag: int, ppn: int = 0) -> None:
         """Install a translation, evicting the LRU entry if full."""
+        lru = self._lru
+        if tag in lru:
+            lru.move_to_end(tag)
+            lru._val[lru._slot[tag]] = ppn
+            return
+        if len(lru) >= self.entries:
+            lru.pop_lru()
+        lru.insert_mru(tag, ppn)
+
+    def invalidate(self, tag: int) -> None:
+        self._lru.discard(tag)
+
+    def flush(self) -> None:
+        self._lru.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._lru)
+
+
+class ReferenceTLB:
+    """The original ``OrderedDict`` TLB (spec + differential oracle)."""
+
+    def __init__(self, entries: int = 2048, name: str = "tlb") -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._lru: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = RatioStat(name)
+
+    def lookup(self, tag: int) -> bool:
+        hit = tag in self._lru
+        self.stats.record(hit)
+        if hit:
+            self._lru.move_to_end(tag)
+        return hit
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._lru
+
+    def fill(self, tag: int, ppn: int = 0) -> None:
         if tag in self._lru:
             self._lru.move_to_end(tag)
             self._lru[tag] = ppn
@@ -72,10 +120,10 @@ class PageWalkCache:
 
     def __init__(self, l4_entries: int = 32, l3_entries: int = 32,
                  l2_entries: int = 64) -> None:
-        self._caches: Dict[int, OrderedDict] = {
-            4: OrderedDict(),
-            3: OrderedDict(),
-            2: OrderedDict(),
+        self._caches: Dict[int, IntLRU] = {
+            4: IntLRU(),
+            3: IntLRU(),
+            2: IntLRU(),
         }
         self._capacity = {4: l4_entries, 3: l3_entries, 2: l2_entries}
         self.stats = RatioStat("pwc")
@@ -85,6 +133,9 @@ class PageWalkCache:
         """Address bits that index the page table down to ``level``."""
         return vpn >> (9 * (level - 1))
 
+    # ``first_fetch_level`` and ``fill`` run once per TLB miss; the level
+    # loop and ``_tag`` calls are unrolled (levels 2/3/4 shift by 9/18/27).
+
     def first_fetch_level(self, vpn: int) -> int:
         """Deepest level whose pointer is cached; walk starts below it.
 
@@ -92,27 +143,41 @@ class PageWalkCache:
         memory*: 1 when the L2 entry is cached (only the leaf PTB is
         fetched), up to 4 for a cold walk.
         """
-        for level in (2, 3, 4):
-            cache = self._caches[level]
-            tag = self._tag(vpn, level)
-            if tag in cache:
-                cache.move_to_end(tag)
-                self.stats.record(True)
-                return level - 1
-        self.stats.record(False)
+        stats = self.stats
+        stats.total += 1
+        caches = self._caches
+        cache = caches[2]
+        tag = vpn >> 9
+        if tag in cache._slot:
+            cache.move_to_end(tag)
+            stats.hits += 1
+            return 1
+        cache = caches[3]
+        tag = vpn >> 18
+        if tag in cache._slot:
+            cache.move_to_end(tag)
+            stats.hits += 1
+            return 2
+        cache = caches[4]
+        tag = vpn >> 27
+        if tag in cache._slot:
+            cache.move_to_end(tag)
+            stats.hits += 1
+            return 3
         return 4
 
     def fill(self, vpn: int) -> None:
         """Install the walk's upper-level pointers after it completes."""
-        for level in (4, 3, 2):
-            cache = self._caches[level]
-            tag = self._tag(vpn, level)
-            if tag in cache:
+        caches = self._caches
+        capacity = self._capacity
+        for level, tag in ((4, vpn >> 27), (3, vpn >> 18), (2, vpn >> 9)):
+            cache = caches[level]
+            if tag in cache._slot:
                 cache.move_to_end(tag)
                 continue
-            if len(cache) >= self._capacity[level]:
-                cache.popitem(last=False)
-            cache[tag] = True
+            if len(cache._slot) >= capacity[level]:
+                cache.pop_lru()
+            cache.insert_mru(tag)
 
     def flush(self) -> None:
         for cache in self._caches.values():

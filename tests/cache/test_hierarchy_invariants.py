@@ -24,10 +24,7 @@ def tiny():
 
 
 def all_blocks(cache):
-    blocks = set()
-    for entries in cache._sets:
-        blocks.update(entries.keys())
-    return blocks
+    return set(cache.blocks())
 
 
 access_strategy = st.lists(

@@ -6,14 +6,19 @@ import pytest
 
 from repro.bench import (
     BENCH_WORKLOADS,
+    SEED_SUITE_RATE,
     compare_to_baseline,
+    controller_rates,
     default_output_name,
+    host_metadata,
     load_document,
+    render_history,
     run_suite,
     write_document,
 )
 from repro.cli import main
 from repro.common.errors import ConfigError
+from repro.common.numpy_compat import numpy_or_none
 
 
 def document(rates, suite_rate=None):
@@ -124,6 +129,105 @@ def test_cli_bench_runs_and_gates(tmp_path, capsys):
     assert main(argv[:-1] + [str(tmp_path / "third.json"),
                              "--baseline", str(demanding)]) == 1
     assert "regression:" in capsys.readouterr().err
+
+
+def test_host_metadata_identifies_the_machine():
+    host = host_metadata()
+    assert host["python"].count(".") == 2
+    assert isinstance(host["cpu"], str) and host["cpu"]
+    assert host["numpy"] is (numpy_or_none() is not None)
+    assert {"machine", "system"} <= host.keys()
+
+
+def test_host_metadata_numpy_flag_respects_mask(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert host_metadata()["numpy"] is False
+
+
+def test_controller_rates_aggregate_not_average():
+    doc = {"configs": [
+        {"workload": "mcf", "controller": "tmcc",
+         "accesses": 1000, "elapsed_s": 1.0, "accesses_per_s": 1000.0},
+        {"workload": "bfs", "controller": "tmcc",
+         "accesses": 3000, "elapsed_s": 1.0, "accesses_per_s": 3000.0},
+    ]}
+    # 4000 accesses over 2 s, not the 2000 a per-config mean would give.
+    assert controller_rates(doc) == {"tmcc": 2000.0}
+
+
+def test_render_history_table(tmp_path):
+    early = document({("mcf", "uncompressed"): 100.0,
+                      ("mcf", "tmcc"): 50.0}, suite_rate=SEED_SUITE_RATE)
+    late = document({("mcf", "uncompressed"): 200.0,
+                     ("mcf", "tmcc"): 100.0},
+                    suite_rate=2 * SEED_SUITE_RATE)
+    write_document(early, str(tmp_path / "BENCH_2026-01-01.json"))
+    write_document(late, str(tmp_path / "BENCH_2026-02-01.json"))
+    table = render_history(str(tmp_path))
+    lines = table.splitlines()
+    assert lines[0].split()[:2] == ["document", "uncompressed"]
+    assert "compresso" in lines[0] and "tmcc" in lines[0]
+    early_row, late_row = lines[2], lines[3]
+    assert early_row.startswith("BENCH_2026-01-01.json")
+    assert "1.00x" in early_row and "2.00x" in late_row
+    assert late_row.split()[1] == "1,000"  # 1000 acc / 1.0 s, uncompressed
+    assert "-" in early_row.split()  # compresso column absent in fixture
+
+
+def test_render_history_rejects_empty_directory(tmp_path):
+    with pytest.raises(ConfigError):
+        render_history(str(tmp_path))
+
+
+def test_cli_bench_history_runs_no_suite(tmp_path, capsys):
+    write_document(document({("mcf", "tmcc"): 500.0}, suite_rate=500.0),
+                   str(tmp_path / "BENCH_2026-03-04.json"))
+    assert main(["bench", "--history", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_2026-03-04.json" in out
+    assert "vs seed" in out
+
+
+def test_cli_bench_history_missing_directory_is_config_error(capsys):
+    assert main(["bench", "--history", "/no/such/dir"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error (config):")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_cli_bench_baseline_missing_file_is_config_error(capsys):
+    """--baseline pointing nowhere must fail fast (before the suite
+    runs) with a one-line config error and exit 2."""
+    assert main(["bench", "--baseline", "/no/such/baseline.json"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error (config):")
+    assert "cannot read benchmark document" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_cli_bench_baseline_mismatched_schema_is_config_error(tmp_path,
+                                                              capsys):
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({"schema": "repro-bench/0",
+                                 "configs": []}))
+    assert main(["bench", "--baseline", str(stale)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error (config):")
+    assert "repro-bench/0" in err and "repro-bench/1" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_cli_bench_baseline_malformed_config_record(tmp_path, capsys):
+    broken = tmp_path / "broken.json"
+    broken.write_text(json.dumps({
+        "schema": "repro-bench/1",
+        "configs": [{"workload": "mcf", "controller": "tmcc",
+                     "accesses_per_s": "fast"}],
+    }))
+    assert main(["bench", "--baseline", str(broken)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error (config):")
+    assert "accesses_per_s" in err
 
 
 def test_bench_workloads_are_the_fig18_set():

@@ -15,10 +15,15 @@ The subcommands cover the library's main entry points:
   DRAM usage for one workload (a three-cell sweep under the hood).
 - ``sweep``     -- the sweep engine: ``sweep run`` executes a
   declarative job matrix (a ``.toml``/``.json`` spec or a built-in like
-  ``fig18``) into a resumable SQLite store, in parallel with ``-j N``;
-  ``sweep ls``/``show``/``export`` query stores; ``sweep curve`` (or
-  the historical ``sweep <workload>`` spelling) prints TMCC's
-  performance/capacity trade-off curve.
+  ``fig18``) into a resumable SQLite store, in parallel with ``-j N``,
+  retrying transient host failures (``--max-retries``), supervising
+  hung workers (``--heartbeat-timeout``), and optionally injecting
+  deterministic host faults (``--chaos``); exit code 4 means some jobs
+  were quarantined after exhausting retries.  ``sweep ls``/``show``/
+  ``export`` query stores; ``sweep repair`` salvages completed rows
+  from a damaged store; ``sweep curve`` (or the historical ``sweep
+  <workload>`` spelling) prints TMCC's performance/capacity trade-off
+  curve.
 - ``report``    -- render one ``--emit-json`` document as a
   markdown/HTML run report, or diff two with ``--compare A B``.
 - ``bench``     -- run the pinned performance suite (``repro.bench``),
@@ -114,6 +119,18 @@ def _validate_args(args: argparse.Namespace) -> Optional[str]:
     timeout = getattr(args, "timeout", None)
     if timeout is not None and timeout <= 0:
         return f"--timeout must be > 0 seconds, got {timeout}"
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is not None and max_retries < 0:
+        return f"--max-retries must be >= 0, got {max_retries}"
+    heartbeat_timeout = getattr(args, "heartbeat_timeout", None)
+    if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+        return (f"--heartbeat-timeout must be > 0 seconds, "
+                f"got {heartbeat_timeout}")
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None and getattr(args, "no_chaos", False):
+        return "--chaos and --no-chaos are mutually exclusive"
+    if chaos is not None and getattr(args, "jobs", 1) < 2:
+        return "--chaos needs a worker pool; use -j 2 or more"
     return None
 
 
@@ -535,13 +552,17 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.common.errors import ConfigError
-    from repro.sweep.engine import run_sweep
+    from repro.sweep.chaos import ChaosPlan
+    from repro.sweep.engine import RetryPolicy, run_sweep
 
     try:
         spec = _load_sweep_spec(args.spec)
         if args.timeout is not None:
             spec = dataclasses.replace(spec, job_timeout_s=args.timeout)
         total = len(spec.expand())
+        chaos = (ChaosPlan.parse(args.chaos, seed=args.chaos_seed)
+                 if args.chaos else None)
+        retry = RetryPolicy(max_retries=args.max_retries)
     except ConfigError as error:
         print(f"error (config): {error}", file=sys.stderr)
         return 2
@@ -553,6 +574,10 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             finished["count"] += 1
             print(f"[{finished['count']:>{len(str(total))}}/{total}] "
                   f"{job.label()}: skipped (already recorded)", flush=True)
+        elif event == "retry":
+            print(f"[retry] {job.label()}: {record['status']}"
+                  + (f" ({record['error']})" if record.get("error") else "")
+                  + "; backing off and retrying", flush=True)
         elif event == "finish":
             finished["count"] += 1
             line = (f"[{finished['count']:>{len(str(total))}}/{total}] "
@@ -568,7 +593,9 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
     try:
         run = run_sweep(spec, store=args.store, workers=args.jobs,
-                        fresh=args.fresh, progress=progress)
+                        fresh=args.fresh, progress=progress,
+                        retry=retry, chaos=chaos,
+                        heartbeat_timeout_s=args.heartbeat_timeout)
     except KeyboardInterrupt:
         print(f"\ninterrupted; completed jobs are recorded -- resume with: "
               f"repro sweep run {args.spec} --store {args.store}",
@@ -581,9 +608,24 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     counts = run.counts
     summary = ", ".join(f"{counts[key]} {key}" for key in
                         ("done", "failed", "timeout") if counts.get(key))
+    if run.quarantined:
+        summary += f" ({len(run.quarantined)} quarantined)"
     resumed = " (resumed)" if run.resumed else ""
     print(f"sweep {run.sweep_id}{resumed}: {summary or 'no jobs'} "
           f"in {run.elapsed_s:.1f}s; store: {args.store}")
+    if run.quarantined:
+        by_id = {job.job_id: job for job in run.jobs}
+        print(f"quarantine report: {len(run.quarantined)} job(s) "
+              f"exhausted their retries", file=sys.stderr)
+        for job_id, info in sorted(
+                run.quarantined.items(),
+                key=lambda item: by_id[item[0]].index):
+            job = by_id[job_id]
+            print(f"  idx {job.index} {job.label()}: "
+                  f"{info['error_type'] or 'failure'} after "
+                  f"{info['attempts']} attempts -- {info['error']}",
+                  file=sys.stderr)
+        return 4
     if not run.ok:
         print(f"some jobs did not finish; inspect with: "
               f"repro sweep show {run.sweep_id} --store {args.store}",
@@ -615,7 +657,7 @@ def _cmd_sweep_show(args: argparse.Namespace) -> int:
     print(f"sweep {sweep['sweep_id']}: status {sweep['status']}, "
           f"{len(jobs)} jobs, spec {sweep['spec_hash']}")
     header = (f"{'idx':>4s} {'workload':14s} {'controller':12s} "
-              f"{'budget':>8s} {'seed':>5s} {'status':8s} "
+              f"{'budget':>8s} {'seed':>5s} {'status':8s} {'try':>4s} "
               f"{'perf':>9s} {'capacity':>9s}")
     print(header)
     print("-" * len(header))
@@ -625,10 +667,16 @@ def _cmd_sweep_show(args: argparse.Namespace) -> int:
                 if "performance" in result else "-".rjust(9))
         ratio = (f"{result['compression_ratio']:8.2f}x"
                  if "compression_ratio" in result else "-".rjust(9))
+        attempts = job.get("attempts", 0) or 0
+        flags = ""
+        if job.get("quarantined"):
+            flags += "  [quarantined]"
+        if job["error"]:
+            flags += f"  {job['error']}"
         print(f"{job['idx']:>4d} {job['workload']:14s} "
               f"{job['controller']:12s} {job['budget']:>8s} "
-              f"{job['seed']:>5d} {job['status']:8s} {perf:>9s} {ratio:>9s}"
-              + (f"  {job['error']}" if job["error"] else ""))
+              f"{job['seed']:>5d} {job['status']:8s} {attempts:>4d} "
+              f"{perf:>9s} {ratio:>9s}" + flags)
     return 0
 
 
@@ -695,6 +743,21 @@ def _cmd_sweep_curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_repair(args: argparse.Namespace) -> int:
+    from repro.sweep.store import SweepStore
+
+    counts = SweepStore.repair(args.src, args.out)
+    print(f"repaired {args.src} -> {args.out}: "
+          f"{counts['jobs_salvaged']} job(s) salvaged, "
+          f"{counts['jobs_reset']} reset to pending, "
+          f"{counts['metrics']} metric rows, "
+          f"{counts['sweeps']} sweep(s)")
+    if counts["jobs_reset"]:
+        print(f"re-run the sweep against {args.out} to fill the reset "
+              f"rows", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.common.errors import ConfigError, ResourceError
 
@@ -704,6 +767,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "show": _cmd_sweep_show,
         "export": _cmd_sweep_export,
         "curve": _cmd_sweep_curve,
+        "repair": _cmd_sweep_repair,
     }
     try:
         return handlers[args.sweep_command](args)
@@ -977,6 +1041,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument("--fresh", action="store_true",
                            help="discard this spec's recorded rows and "
                                 "start over instead of resuming")
+    sweep_run.add_argument("--max-retries", type=int, default=2,
+                           metavar="N",
+                           help="retries per job for transient failures "
+                                "(worker death, hangs, timeouts, store "
+                                "I/O; default: 2, 0 disables)")
+    sweep_run.add_argument("--heartbeat-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="kill and replace a worker silent for this "
+                                "long (default: off; worker *death* is "
+                                "always detected)")
+    sweep_run.add_argument("--chaos", metavar="PLAN", default=None,
+                           help="inject host faults: "
+                                "kind[:count[:param]][@index],... with "
+                                "kinds worker_kill/hang/enospc/"
+                                "corrupt_row (needs -j >= 2)")
+    sweep_run.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                           help="seed for chaos victim choice (default: 0)")
+    sweep_run.add_argument("--no-chaos", action="store_true",
+                           help="explicitly disable fault injection "
+                                "(rejects a conflicting --chaos)")
     sweep_run.add_argument("--timeout", type=float, metavar="SECONDS",
                            help="per-job wall-clock watchdog "
                                 "(overrides the spec's job_timeout_s)")
@@ -1000,6 +1084,15 @@ def build_parser() -> argparse.ArgumentParser:
                               default="json")
     sweep_export.add_argument("--out", metavar="PATH",
                               help="write here instead of stdout")
+
+    sweep_repair = sweep_sub.add_parser(
+        "repair", help="salvage completed rows from a damaged store "
+                       "into a fresh one")
+    sweep_repair.add_argument("src", metavar="DAMAGED",
+                              help="path of the damaged store")
+    sweep_repair.add_argument("--out", required=True, metavar="PATH",
+                              help="path for the repaired store "
+                                   "(must not exist)")
 
     sweep_curve = sweep_sub.add_parser(
         "curve", help="TMCC's performance/capacity trade-off curve "

@@ -19,14 +19,29 @@ react uniformly instead of pattern-matching message strings:
 :func:`classify_error` maps any exception (taxonomy or not) to one of
 the ``ERROR_KIND_*`` labels for structured reporting (``repro run
 --emit-json`` error documents, the supervisor's truncation records).
+
+On top of the kinds sits the *transient/permanent* split the sweep
+engine's retry policy keys on: a ``resource`` failure (wall clock,
+storage, a worker process dying under the job) may succeed if simply
+re-run, while ``config``/``model_invariant``/``internal`` failures are
+deterministic -- retrying replays the exact same error, so they fail
+fast.  :func:`is_transient` answers that question for either an
+exception or a recorded kind label.
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 ERROR_KIND_CONFIG = "config"
 ERROR_KIND_INVARIANT = "model_invariant"
 ERROR_KIND_RESOURCE = "resource"
 ERROR_KIND_INTERNAL = "internal"
+
+#: Kinds worth retrying: the failure came from outside the simulated
+#: model (host resources, worker death, store I/O), so a re-run with
+#: the same spec can legitimately succeed.
+TRANSIENT_ERROR_KINDS = frozenset({ERROR_KIND_RESOURCE})
 
 
 class SimError(Exception):
@@ -51,6 +66,17 @@ class ResourceError(SimError, RuntimeError):
     """The run exhausted an external resource (time, storage, ...)."""
 
     kind = ERROR_KIND_RESOURCE
+
+
+def is_transient(failure: Union[BaseException, str]) -> bool:
+    """Whether a failure is worth retrying.
+
+    Accepts either an exception (classified first) or a recorded
+    ``ERROR_KIND_*`` label straight out of a sweep job record.
+    """
+    kind = (classify_error(failure) if isinstance(failure, BaseException)
+            else failure)
+    return kind in TRANSIENT_ERROR_KINDS
 
 
 def classify_error(error: BaseException) -> str:

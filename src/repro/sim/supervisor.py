@@ -80,10 +80,34 @@ def save_checkpoint(sim: Simulator, path: str) -> None:
     try:
         with open(tmp_path, "wb") as handle:
             handle.write(payload)
+            # Durability, not just atomicity: the tmp file's bytes must
+            # be on disk before the rename, and the rename itself must
+            # be journalled (the directory fsync), or a power cut can
+            # leave `path` pointing at a zero-length file.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(os.path.dirname(path) or ".")
     except OSError as error:
         raise ResourceError(
             f"cannot write checkpoint to {path!r}: {error}") from error
+
+
+def _fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some platforms/filesystems refuse O_RDONLY directory
+    fsync -- there the rename is as durable as the OS makes it."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_checkpoint(path: str) -> Simulator:
@@ -118,6 +142,7 @@ class RunSupervisor:
         checkpoint_every: int = 0,
         wall_clock_limit_s: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        heartbeat: Optional[Callable[[], None]] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ConfigError(
@@ -132,6 +157,10 @@ class RunSupervisor:
         self.checkpoint_every = checkpoint_every
         self.wall_clock_limit_s = wall_clock_limit_s
         self._clock = clock
+        #: Liveness callback, invoked once per watchdog stride.  The
+        #: sweep worker pool points this at its shared heartbeat slot
+        #: so the parent can tell a slow job from a hung child.
+        self.heartbeat = heartbeat
         self._deadline: Optional[float] = None
         self.checkpoints_written = 0
 
@@ -146,11 +175,13 @@ class RunSupervisor:
                 and state.index % self.checkpoint_every == 0):
             save_checkpoint(sim, self.checkpoint_path)
             self.checkpoints_written += 1
-        if (self._deadline is not None
-                and state.index % _WATCHDOG_STRIDE == 0
-                and self._clock() >= self._deadline):
-            return (f"wall-clock limit of {self.wall_clock_limit_s} s "
-                    f"reached at access {state.index}")
+        if state.index % _WATCHDOG_STRIDE == 0:
+            if self.heartbeat is not None:
+                self.heartbeat()
+            if (self._deadline is not None
+                    and self._clock() >= self._deadline):
+                return (f"wall-clock limit of {self.wall_clock_limit_s} s "
+                        f"reached at access {state.index}")
         return None
 
     # ------------------------------------------------------------------

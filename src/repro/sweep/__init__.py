@@ -20,9 +20,14 @@ was measured.  This package replaces those loops with one engine:
   jobs already ``done``.
 - :mod:`repro.sweep.reduce` -- reductions from job rows back to the
   paper's figures (iso-capacity speedups, capacity curves).
+- :mod:`repro.sweep.chaos` -- deterministic host-fault injection
+  (worker SIGKILL, hangs, ENOSPC store writes, corrupted result rows)
+  driving the engine's retry/backoff/quarantine and heartbeat
+  supervision machinery.
 """
 
-from repro.sweep.engine import SweepRun, run_sweep
+from repro.sweep.chaos import ChaosPlan, ChaosSchedule, ChaosSpec
+from repro.sweep.engine import RetryPolicy, SweepRun, run_sweep
 from repro.sweep.spec import (
     BudgetSpec,
     ControllerSpec,
@@ -34,8 +39,12 @@ from repro.sweep.store import STORE_SCHEMA_VERSION, StoreEngine, SweepStore
 
 __all__ = [
     "BudgetSpec",
+    "ChaosPlan",
+    "ChaosSchedule",
+    "ChaosSpec",
     "ControllerSpec",
     "JobSpec",
+    "RetryPolicy",
     "SweepSpec",
     "builtin_spec",
     "SweepRun",

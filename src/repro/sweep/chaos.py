@@ -1,0 +1,224 @@
+"""Deterministic *host*-fault injection for sweep resilience testing.
+
+:mod:`repro.sim.faults` breaks the simulated machine on purpose; this
+module breaks the **sweep harness itself** -- the worker processes, the
+result plumbing, and the SQLite store -- so the retry/quarantine/
+heartbeat machinery in :mod:`repro.sweep.engine` is exercised on every
+CI run instead of only on unlucky production days.  Same discipline as
+the simulation injector: a plan plus a seed fully determines which jobs
+get hurt and how often, so a chaos run is replayable and its surviving
+metric rows can be asserted ``fingerprint_rows``-identical to a
+fault-free run.
+
+Fault kinds (:data:`CHAOS_KINDS`):
+
+- ``worker_kill``  -- the worker SIGKILLs itself mid-job (models the
+  OOM killer); the pool must notice the dead child and retry the job.
+- ``hang``         -- the worker sleeps ``param`` seconds before
+  simulating (models a wedged child); heartbeat supervision must kill
+  and replace it.
+- ``enospc``       -- the store write for the job's result raises
+  ``OSError(ENOSPC)`` (models a full disk); the engine's store-write
+  retry must absorb it.
+- ``corrupt_row``  -- the worker flips a field in the result record
+  after digesting it (models in-flight corruption); the engine's
+  digest check must reject the record and retry the job.
+
+Plan strings (CLI ``repro sweep run --chaos``), mirroring the
+``sim/faults.py`` grammar::
+
+    kind[:count[:param]][@index]  [, more specs]
+
+    worker_kill:1
+    hang:1:30
+    enospc:2,corrupt_row:1@3
+
+``count`` is how many consecutive *attempts* of the victim job the
+fault fires on (default 1: first attempt hurt, first retry clean);
+``param`` is the hang sleep in seconds (ignored by other kinds);
+``@index`` pins the victim to a matrix cell, otherwise the victim is
+drawn deterministically from (seed, kind, spec position).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+CHAOS_WORKER_KILL = "worker_kill"
+CHAOS_HANG = "hang"
+CHAOS_ENOSPC = "enospc"
+CHAOS_CORRUPT_ROW = "corrupt_row"
+
+#: Every supported host-fault kind, in documentation order.
+CHAOS_KINDS = (
+    CHAOS_WORKER_KILL,
+    CHAOS_HANG,
+    CHAOS_ENOSPC,
+    CHAOS_CORRUPT_ROW,
+)
+
+#: Default hang duration -- long enough that any sane heartbeat timeout
+#: fires first, short enough that a missed kill cannot wedge CI forever.
+_DEFAULT_HANG_S = 30.0
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One declarative host fault."""
+
+    kind: str
+    #: The fault fires on the victim job's attempts ``1..count``.
+    count: int = 1
+    #: Kind-specific knob; today only ``hang`` reads it (sleep seconds).
+    param: float = _DEFAULT_HANG_S
+    #: Explicit victim matrix index; ``None`` means seeded choice.
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ConfigError(
+                f"unknown chaos kind {self.kind!r}; "
+                f"choose from {list(CHAOS_KINDS)}"
+            )
+        if self.count < 1:
+            raise ConfigError(
+                f"chaos count must be >= 1, got {self.count}")
+        if self.param <= 0:
+            raise ConfigError(
+                f"chaos param must be > 0, got {self.param}")
+        if self.target is not None and self.target < 0:
+            raise ConfigError(
+                f"chaos target index must be >= 0, got {self.target}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An ordered collection of chaos specs plus the victim-choice seed."""
+
+    specs: Tuple[ChaosSpec, ...] = ()
+    seed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ChaosPlan":
+        """Parse the CLI plan syntax (see the module docstring)."""
+        specs = []
+        for raw in text.split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            target = None
+            if "@" in item:
+                item, _, index_text = item.partition("@")
+                try:
+                    target = int(index_text)
+                except ValueError:
+                    raise ConfigError(
+                        f"chaos target must be a job index, got "
+                        f"{index_text!r}") from None
+            parts = item.split(":")
+            if len(parts) > 3:
+                raise ConfigError(
+                    f"chaos spec has too many fields: {raw.strip()!r}")
+            kind = parts[0]
+            try:
+                count = int(parts[1]) if len(parts) > 1 else 1
+                param = float(parts[2]) if len(parts) > 2 else _DEFAULT_HANG_S
+            except ValueError:
+                raise ConfigError(
+                    f"chaos count/param must be numeric in "
+                    f"{raw.strip()!r}") from None
+            specs.append(ChaosSpec(kind=kind, count=count, param=param,
+                                   target=target))
+        if not specs:
+            raise ConfigError(f"chaos plan {text!r} contains no specs")
+        return cls(tuple(specs), seed=seed)
+
+    def describe(self) -> str:
+        out = []
+        for spec in self.specs:
+            item = f"{spec.kind}:{spec.count}:{spec.param:g}"
+            if spec.target is not None:
+                item += f"@{spec.target}"
+            out.append(item)
+        return ",".join(out)
+
+    def resolve(self, total_jobs: int) -> "ChaosSchedule":
+        """Pin every spec to a victim matrix index.
+
+        Victims without an explicit ``@index`` are drawn from
+        ``sha256(seed | kind | spec position)`` -- a pure function of
+        the plan, so a resumed chaos sweep replays the same schedule.
+        When two specs of the same category land on one job, the first
+        wins (matching ``sim/faults.py``'s one-draw-per-spec spirit of
+        keeping the sequence schedule-independent).
+        """
+        if total_jobs < 1:
+            raise ConfigError(
+                f"chaos plan needs at least one job, got {total_jobs}")
+        schedule = ChaosSchedule()
+        for position, spec in enumerate(self.specs):
+            if spec.target is not None:
+                if spec.target >= total_jobs:
+                    raise ConfigError(
+                        f"chaos target @{spec.target} is outside the "
+                        f"{total_jobs}-job matrix")
+                victim = spec.target
+            else:
+                digest = hashlib.sha256(
+                    f"{self.seed}|{spec.kind}|{position}".encode()
+                ).digest()
+                victim = int.from_bytes(digest[:4], "big") % total_jobs
+            if spec.kind in (CHAOS_WORKER_KILL, CHAOS_HANG):
+                schedule.worker_actions.setdefault(
+                    victim, (spec.kind, spec.param, spec.count))
+            elif spec.kind == CHAOS_ENOSPC:
+                schedule.store_faults.setdefault(victim, spec.count)
+            else:
+                schedule.corruptions.setdefault(victim, spec.count)
+        return schedule
+
+
+@dataclass
+class ChaosSchedule:
+    """A resolved plan: matrix index -> what happens, for how many
+    attempts.  Plain dicts only, so it pickles into spawn-started
+    workers as easily as it forks."""
+
+    #: index -> (kind, param, count) for worker-side faults.
+    worker_actions: Dict[int, Tuple[str, float, int]] = field(
+        default_factory=dict)
+    #: index -> count for store-write ENOSPC faults.
+    store_faults: Dict[int, int] = field(default_factory=dict)
+    #: index -> count for in-flight result corruption.
+    corruptions: Dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.worker_actions or self.store_faults
+                    or self.corruptions)
+
+    def worker_action(self, job_index: int,
+                      attempt: int) -> Optional[Tuple[str, float]]:
+        """The (kind, param) a worker must inflict on itself for this
+        attempt of this job, or None."""
+        action = self.worker_actions.get(job_index)
+        if action is None:
+            return None
+        kind, param, count = action
+        return (kind, param) if attempt <= count else None
+
+    def store_fault(self, job_index: int, write_attempt: int) -> bool:
+        """Whether this store write for this job must raise ENOSPC."""
+        count = self.store_faults.get(job_index)
+        return count is not None and write_attempt <= count
+
+    def corrupts(self, job_index: int, attempt: int) -> bool:
+        """Whether the worker must corrupt this attempt's result record."""
+        count = self.corruptions.get(job_index)
+        return count is not None and attempt <= count

@@ -17,29 +17,97 @@
 5. record every outcome (status, resolved budget, result document,
    headline metrics) in the store as it lands.
 
+Host-fault resilience sits between steps 4 and 5.  Every attempt
+outcome is classified **transient or permanent** (see
+:data:`repro.common.errors.TRANSIENT_ERROR_KINDS`): worker death, hung
+workers, timeouts, corrupted result records, and store I/O failures
+are transient and retried under the :class:`RetryPolicy` (exponential
+backoff, deterministic jitter, capped); ``ConfigError`` and
+``ModelInvariantError`` are permanent and fail fast.  A transient job
+that exhausts its retries is **quarantined** -- recorded terminal with
+the ``quarantined`` flag so the rest of the matrix completes and the
+CLI can report it distinctly.  A deterministic :class:`ChaosPlan`
+(:mod:`repro.sweep.chaos`) can inject exactly these host faults to
+prove the machinery end to end.
+
 Determinism: scheduling never feeds back into simulation.  Every job's
 seed and configuration is fixed at expansion time, each job runs in a
 fresh simulator, and budget resolution depends only on the provider's
-(deterministic) result -- so ``-j 1`` and ``-j 8`` sweeps, and killed-
-then-resumed sweeps, produce row-identical stores (see
+(deterministic) result -- so ``-j 1`` and ``-j 8`` sweeps, killed-
+then-resumed sweeps, and chaos-ridden sweeps (for the rows that
+survive) produce row-identical stores (see
 :meth:`~repro.sweep.store.SweepStore.fingerprint_rows`).
 """
 
 from __future__ import annotations
 
+import errno
+import hashlib
+import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ResourceError, is_transient
 from repro.sim.results import SimResult
+from repro.sweep.chaos import ChaosPlan, ChaosSchedule
 from repro.sweep.spec import JobSpec, SweepSpec
 from repro.sweep.store import SweepStore
-from repro.sweep.worker import WorkerPool, execute_job
+from repro.sweep.worker import WorkerPool, execute_job, result_digest
 
 #: Progress callback signature: (event, job, record_or_None).  Events:
-#: ``skip`` (already done in the store), ``start``, ``finish``.
+#: ``skip`` (already done in the store), ``start``, ``retry`` (a
+#: transient attempt failed, the job goes back in the queue), and
+#: ``finish``.
 ProgressFn = Callable[[str, JobSpec, Optional[dict]], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient attempt failures are retried.
+
+    Deliberately *not* part of :class:`~repro.sweep.spec.SweepSpec`:
+    retries change host behaviour, never simulated results, so they
+    must not perturb the spec hash a resume keys on.
+    """
+
+    #: Transient failures re-run up to this many times (so a job gets
+    #: ``max_retries + 1`` attempts total); 0 disables retries.
+    max_retries: int = 2
+    #: First backoff delay; doubles per retry.
+    backoff_s: float = 0.1
+    #: Backoff ceiling.
+    backoff_cap_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0 or self.backoff_cap_s < self.backoff_s:
+            raise ConfigError(
+                f"backoff must satisfy 0 <= backoff_s <= backoff_cap_s, "
+                f"got {self.backoff_s}/{self.backoff_cap_s}")
+
+    def delay_s(self, job_id: str, attempt: int) -> float:
+        """Capped exponential backoff with *deterministic* jitter.
+
+        The jitter factor (0.5..1.0) comes from hashing (job_id,
+        attempt), so concurrent retries de-synchronize without making
+        the schedule nondeterministic across runs.
+        """
+        base = min(self.backoff_cap_s,
+                   self.backoff_s * (2 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).hexdigest()
+        frac = int(digest[:8], 16) / 0xFFFFFFFF
+        return base * (0.5 + 0.5 * frac)
+
+
+def _is_transient(record: dict) -> bool:
+    """Whether an attempt record describes a retryable failure."""
+    if record["status"] == "timeout":
+        return True
+    return (record["status"] == "failed"
+            and is_transient(record.get("error_kind", "")))
 
 
 @dataclass
@@ -56,6 +124,10 @@ class SweepRun:
     statuses: Dict[str, str] = field(default_factory=dict)
     results: Dict[str, SimResult] = field(default_factory=dict)
     errors: Dict[str, dict] = field(default_factory=dict)
+    #: job_id -> attempts made this run (resumed-done jobs absent).
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: job_id -> error info for jobs that exhausted their retries.
+    quarantined: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -103,6 +175,9 @@ def run_sweep(
     workload_resolver: Optional[Callable[[JobSpec], object]] = None,
     system=None,
     model=None,
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosPlan] = None,
+    heartbeat_timeout_s: Optional[float] = None,
 ) -> SweepRun:
     """Run (or resume) a sweep; see the module docs for the phases.
 
@@ -110,7 +185,11 @@ def run_sweep(
     ephemeral in-memory run (no resume).  ``workload_resolver`` /
     ``system`` / ``model`` let the experiment protocols inject pre-built
     objects; they are inline-only (``workers`` must be 1) because worker
-    processes rebuild state from the job spec alone.
+    processes rebuild state from the job spec alone.  ``retry`` defaults
+    to :class:`RetryPolicy`'s defaults; ``chaos`` injects host faults
+    (pool-only: a chaos worker kill aimed at the inline path would kill
+    the orchestrator itself); ``heartbeat_timeout_s`` arms hung-worker
+    detection in the pool.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -122,8 +201,18 @@ def run_sweep(
     if workers > 1 and not capture_errors:
         raise ConfigError("capture_errors=False is inline-only; "
                           "use workers=1")
+    if chaos is not None and chaos and workers < 2:
+        raise ConfigError("chaos injection needs a worker pool; "
+                          "use workers >= 2")
+    if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+        raise ConfigError(f"heartbeat timeout must be > 0 s, "
+                          f"got {heartbeat_timeout_s}")
+    if retry is None:
+        retry = RetryPolicy()
 
     jobs = spec.expand(known_workloads_only=workload_resolver is None)
+    chaos_schedule: Optional[ChaosSchedule] = (
+        chaos.resolve(len(jobs)) if chaos is not None and chaos else None)
     if isinstance(store, str):
         store = SweepStore.open(store)
 
@@ -170,6 +259,9 @@ def run_sweep(
             cached_workload(key[0], max_accesses=key[1], seed=key[2],
                             scale=key[3])
 
+    attempts: Dict[str, int] = {job.job_id: 0 for job in todo}
+    run.attempts = attempts
+
     def budget_for(job: JobSpec) -> Optional[int]:
         if not job.budget.needs_reference:
             return job.budget.resolve(None)
@@ -188,7 +280,40 @@ def run_sweep(
         return (job.budget.needs_reference
                 and statuses.get(job.provider_id) in ("failed", "timeout"))
 
-    def record_outcome(job: JobSpec, record: dict) -> None:
+    def store_finish(job: JobSpec, record: dict,
+                     quarantined: bool = False) -> None:
+        """Persist a terminal outcome, riding out transient store I/O
+        failures (real ENOSPC, chaos ENOSPC, a locked database) with
+        the same backoff the jobs themselves get."""
+        if store is None:
+            return
+        write_attempt = 0
+        while True:
+            write_attempt += 1
+            try:
+                if (chaos_schedule is not None
+                        and chaos_schedule.store_fault(job.index,
+                                                       write_attempt)):
+                    raise OSError(errno.ENOSPC,
+                                  "chaos: sweep store write failed")
+                store.finish_job(
+                    job.job_id, record["status"],
+                    elapsed_s=record.get("elapsed_s", 0.0),
+                    error=record.get("error", ""),
+                    budget_bytes=record.get("budget_bytes"),
+                    result=record["result"],
+                    quarantined=quarantined,
+                )
+                return
+            except (OSError, sqlite3.Error) as error:
+                if write_attempt > retry.max_retries:
+                    raise ResourceError(
+                        f"cannot record result for {job.label()!r} after "
+                        f"{write_attempt} attempts: {error}") from error
+                time.sleep(retry.delay_s(job.job_id, write_attempt))
+
+    def record_outcome(job: JobSpec, record: dict,
+                       quarantined: bool = False) -> None:
         statuses[job.job_id] = record["status"]
         if record["result"] is not None and record["status"] == "done":
             run.results[job.job_id] = record["result"]
@@ -198,16 +323,52 @@ def run_sweep(
                 "error_type": record.get("error_type", ""),
                 "error_kind": record.get("error_kind", ""),
             }
-        if store is not None:
-            store.finish_job(
-                job.job_id, record["status"],
-                elapsed_s=record.get("elapsed_s", 0.0),
-                error=record.get("error", ""),
-                budget_bytes=record.get("budget_bytes"),
-                result=record["result"],
-            )
+        if quarantined:
+            run.quarantined[job.job_id] = {
+                "error": record.get("error", ""),
+                "error_type": record.get("error_type", ""),
+                "attempts": attempts.get(job.job_id, 0),
+            }
+        store_finish(job, record, quarantined=quarantined)
         if progress is not None:
             progress("finish", job, record)
+
+    def verify_record(job: JobSpec, record: dict) -> dict:
+        """Digest-check a pool record; corruption becomes a transient
+        failure record so the normal retry path handles it."""
+        if "result_digest" not in record:
+            return record
+        if result_digest(record["result"]) == record["result_digest"]:
+            return record
+        return {
+            "job_id": job.job_id, "status": "failed",
+            "error": "result record corrupted in flight "
+                     "(digest mismatch)",
+            "error_type": "CorruptResult", "error_kind": "resource",
+            "elapsed_s": record.get("elapsed_s", 0.0),
+            "budget_bytes": record.get("budget_bytes"), "result": None,
+        }
+
+    def handle_outcome(job: JobSpec, record: dict) -> Optional[float]:
+        """Classify an attempt outcome.
+
+        Transient failure with retry budget left: remember the error,
+        flip the job back to pending, and return the backoff delay.
+        Otherwise record the terminal outcome (quarantining exhausted
+        transients) and return None.
+        """
+        attempt = attempts.get(job.job_id, 0)
+        transient = _is_transient(record)
+        if transient and attempt <= retry.max_retries:
+            if store is not None:
+                store.record_attempt_failure(
+                    job.job_id, record.get("error", ""))
+            statuses[job.job_id] = "pending"
+            if progress is not None:
+                progress("retry", job, record)
+            return retry.delay_s(job.job_id, attempt)
+        record_outcome(job, record, quarantined=transient)
+        return None
 
     def fail_dependent(job: JobSpec) -> None:
         provider = by_id[job.provider_id]
@@ -219,36 +380,53 @@ def run_sweep(
             "elapsed_s": 0.0, "budget_bytes": None, "result": None,
         })
 
+    def begin_attempt(job: JobSpec) -> None:
+        attempts[job.job_id] = attempts.get(job.job_id, 0) + 1
+        if store is not None:
+            store.mark_job_running(job.job_id)
+        statuses[job.job_id] = "running"
+        if progress is not None:
+            progress("start", job, None)
+
     started = time.perf_counter()
     completed = False
     try:
         if workers == 1:
             _run_inline(todo, statuses, ready, provider_dead, budget_for,
-                        record_outcome, fail_dependent, spec, progress,
-                        store, capture_errors, workload_resolver, system,
+                        handle_outcome, fail_dependent, begin_attempt,
+                        spec, capture_errors, workload_resolver, system,
                         model)
         else:
             _run_pool(todo, by_id, statuses, ready, provider_dead,
-                      budget_for, record_outcome, fail_dependent, spec,
-                      progress, store, workers)
+                      budget_for, handle_outcome, fail_dependent,
+                      begin_attempt, verify_record, attempts, spec,
+                      workers, chaos_schedule, heartbeat_timeout_s)
         completed = True
     finally:
         run.elapsed_s = time.perf_counter() - started
         run.statuses = statuses
         if store is not None:
-            if not completed:
-                store.set_sweep_status(sweep_id, "interrupted")
-            elif all(status == "done" for status in statuses.values()):
-                store.set_sweep_status(sweep_id, "done")
-            else:
-                store.set_sweep_status(sweep_id, "failed")
+            # Best-effort: the status row must not mask the original
+            # failure when the store itself is what broke.
+            try:
+                if not completed:
+                    store.set_sweep_status(sweep_id, "interrupted")
+                elif all(status == "done"
+                         for status in statuses.values()):
+                    store.set_sweep_status(sweep_id, "done")
+                else:
+                    store.set_sweep_status(sweep_id, "failed")
+            except (ResourceError, OSError, sqlite3.Error):
+                if completed:
+                    raise
     return run
 
 
 def _run_inline(todo, statuses, ready, provider_dead, budget_for,
-                record_outcome, fail_dependent, spec, progress, store,
+                handle_outcome, fail_dependent, begin_attempt, spec,
                 capture_errors, workload_resolver, system, model) -> None:
-    """Single-process scheduling: matrix order, providers first."""
+    """Single-process scheduling: matrix order, providers first;
+    retries run in place after their backoff sleep."""
     pending = list(todo)
     while pending:
         progressed = False
@@ -262,19 +440,19 @@ def _run_inline(todo, statuses, ready, provider_dead, budget_for,
                 deferred.append(job)
                 continue
             budget = budget_for(job)
-            if store is not None:
-                store.mark_job_running(job.job_id)
-            statuses[job.job_id] = "running"
-            if progress is not None:
-                progress("start", job, None)
-            workload = (workload_resolver(job)
-                        if workload_resolver is not None else None)
-            record = execute_job(
-                job, budget_bytes=budget, timeout_s=spec.job_timeout_s,
-                workload=workload, system=system, model=model,
-                capture_errors=capture_errors,
-            )
-            record_outcome(job, record)
+            while True:
+                begin_attempt(job)
+                workload = (workload_resolver(job)
+                            if workload_resolver is not None else None)
+                record = execute_job(
+                    job, budget_bytes=budget, timeout_s=spec.job_timeout_s,
+                    workload=workload, system=system, model=model,
+                    capture_errors=capture_errors,
+                )
+                delay = handle_outcome(job, record)
+                if delay is None:
+                    break
+                time.sleep(delay)
             progressed = True
         pending = deferred
         if pending and not progressed:
@@ -284,12 +462,22 @@ def _run_inline(todo, statuses, ready, provider_dead, budget_for,
 
 
 def _run_pool(todo, by_id, statuses, ready, provider_dead, budget_for,
-              record_outcome, fail_dependent, spec, progress, store,
-              workers) -> None:
-    """Pool scheduling: keep every worker fed with ready jobs."""
-    pool = WorkerPool(workers)
+              handle_outcome, fail_dependent, begin_attempt,
+              verify_record, attempts, spec, workers, chaos_schedule,
+              heartbeat_timeout_s) -> None:
+    """Pool scheduling: keep every worker fed with ready jobs; retries
+    rejoin the queue when their backoff expires."""
+    pool = WorkerPool(workers, chaos=chaos_schedule,
+                      heartbeat_timeout_s=heartbeat_timeout_s)
     try:
         waiting = list(todo)
+        retries: List[Tuple[float, JobSpec]] = []
+
+        def launch(job: JobSpec) -> None:
+            budget = budget_for(job)
+            begin_attempt(job)
+            pool.submit(job, budget, spec.job_timeout_s,
+                        attempt=attempts[job.job_id])
 
         def dispatch_ready() -> None:
             nonlocal waiting
@@ -297,22 +485,33 @@ def _run_pool(todo, by_id, statuses, ready, provider_dead, budget_for,
             for job in waiting:
                 if provider_dead(job):
                     fail_dependent(job)
-                elif ready(job):
-                    budget = budget_for(job)
-                    if store is not None:
-                        store.mark_job_running(job.job_id)
-                    statuses[job.job_id] = "running"
-                    if progress is not None:
-                        progress("start", job, None)
-                    pool.submit(job, budget, spec.job_timeout_s)
+                elif ready(job) and pool.has_idle:
+                    launch(job)
                 else:
                     deferred.append(job)
             waiting = deferred
+            now = time.monotonic()
+            due_later: List[Tuple[float, JobSpec]] = []
+            for due, job in retries:
+                if due <= now and pool.has_idle:
+                    launch(job)
+                else:
+                    due_later.append((due, job))
+            retries[:] = due_later
 
         dispatch_ready()
-        while pool.inflight:
-            record = pool.next_result()
-            record_outcome(by_id[record["job_id"]], record)
+        while pool.inflight or retries:
+            if pool.inflight:
+                record = pool.next_result()
+                job = by_id[record["job_id"]]
+                record = verify_record(job, record)
+                delay = handle_outcome(job, record)
+                if delay is not None:
+                    retries.append((time.monotonic() + delay, job))
+            else:
+                # Nothing running; sleep until the soonest retry is due.
+                due = min(due for due, _ in retries)
+                time.sleep(max(0.0, due - time.monotonic()))
             dispatch_ready()
         if waiting:
             stuck = ", ".join(job.label() for job in waiting[:4])

@@ -95,7 +95,8 @@ def export_csv(document: dict) -> str:
                 headline_keys.append(key)
     out = io.StringIO()
     fields = ["idx", "workload", "controller", "budget", "budget_bytes",
-              "seed", "faults", "status", "error", "elapsed_s"]
+              "seed", "faults", "status", "error", "attempts",
+              "quarantined", "elapsed_s"]
     writer = csv.writer(out)
     writer.writerow(fields + headline_keys)
     for job in document["jobs"]:

@@ -8,7 +8,8 @@ Layout (schema-versioned; :data:`STORE_SCHEMA_VERSION`):
 - ``jobs``    -- one row per matrix cell: every simulation-relevant
   field, scheduling status (``pending``/``running``/``done``/
   ``failed``/``timeout``), the resolved byte budget, the error line,
-  host elapsed seconds, and the full result document
+  host elapsed seconds, the retry bookkeeping (``attempts``,
+  ``last_error``, ``quarantined``), and the full result document
   (:meth:`repro.sim.results.SimResult.as_dict` JSON).
 - ``metrics`` -- headline metrics flattened to ``(job_id, key, value)``
   rows so SQL can compare designs without parsing result JSON.
@@ -17,8 +18,14 @@ The engine/connection split: :class:`StoreEngine` owns the file path,
 pragmas, and schema migration; every operation borrows a short-lived
 connection from :meth:`StoreEngine.connect`, so one store can be read
 by many processes while the sweep engine (the single writer) runs.
-:class:`SweepStore` is the high-level API the sweep engine, the CLI
-(``repro sweep ls/show/export``), and the benchmark harness use.
+Connections run in WAL mode with a generous ``busy_timeout``, so
+``repro sweep ls/show`` against a live sweep waits instead of dying
+with ``database is locked``.  Opening a store runs ``PRAGMA
+quick_check``; torn files are rejected with a one-line pointer at
+:meth:`SweepStore.repair`, which salvages completed rows into a fresh
+store.  :class:`SweepStore` is the high-level API the sweep engine,
+the CLI (``repro sweep ls/show/export``), and the benchmark harness
+use.
 
 Timestamps and host-elapsed columns are the only nondeterministic
 fields; :meth:`SweepStore.fingerprint_rows` projects them away, which
@@ -29,6 +36,7 @@ row-identical to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import time
 from contextlib import contextmanager
@@ -38,9 +46,12 @@ from repro.common.errors import ConfigError, ResourceError
 from repro.sim.results import SimResult
 from repro.sweep.spec import JobSpec, SweepSpec
 
-#: Bump on incompatible table changes; old stores are rejected with a
-#: one-line ConfigError instead of being misread.
-STORE_SCHEMA_VERSION = 1
+#: Bump on incompatible table changes; old stores are migrated when the
+#: upgrade is additive (v1 -> v2 adds the retry columns) and rejected
+#: with a one-line ConfigError otherwise.
+STORE_SCHEMA_VERSION = 2
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
 
 #: Job lifecycle states.  ``running`` rows are re-enqueued on resume:
 #: the process that owned them died without recording a result.
@@ -79,6 +90,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     provider_id  TEXT NOT NULL DEFAULT '',
     status       TEXT NOT NULL,
     error        TEXT NOT NULL DEFAULT '',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    last_error   TEXT NOT NULL DEFAULT '',
+    quarantined  INTEGER NOT NULL DEFAULT 0,
     elapsed_s    REAL,
     started_at   REAL,
     finished_at  REAL,
@@ -114,6 +128,17 @@ class StoreEngine:
             raise ResourceError(
                 f"cannot open sweep store {self.path!r}: {error}")
         conn.row_factory = sqlite3.Row
+        # One place for the concurrency pragmas: WAL lets `sweep ls`
+        # read while the engine writes, busy_timeout makes the rare
+        # writer/writer collision wait instead of raising `database is
+        # locked`.  Best-effort -- a damaged file fails these, and the
+        # quick_check in _ensure_schema owns that diagnosis.
+        try:
+            conn.execute("PRAGMA busy_timeout = 30000")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+        except sqlite3.Error:
+            pass
         try:
             yield conn
             conn.commit()
@@ -123,12 +148,31 @@ class StoreEngine:
         finally:
             conn.close()
 
+    def _looks_like_sqlite(self) -> bool:
+        try:
+            with open(self.path, "rb") as handle:
+                return handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+        except OSError:
+            return False
+
     def _ensure_schema(self) -> None:
         with self.connect() as conn:
             try:
+                check = conn.execute("PRAGMA quick_check(1)").fetchone()
                 tables = {row["name"] for row in conn.execute(
                     "SELECT name FROM sqlite_master WHERE type='table'")}
             except sqlite3.DatabaseError:
+                check = None
+                tables = None
+            if tables is None or (check is not None and check[0] != "ok"):
+                # A readable-but-torn SQLite file gets the salvage
+                # pointer; arbitrary non-SQLite bytes keep the blunter
+                # historical message.
+                if self._looks_like_sqlite():
+                    raise ConfigError(
+                        f"sweep store {self.path!r} failed the SQLite "
+                        f"integrity check; salvage completed rows with "
+                        f"`repro sweep repair {self.path} --out NEW.db`")
                 raise ConfigError(
                     f"{self.path!r} is not a sweep store (not a SQLite "
                     f"database)")
@@ -149,11 +193,30 @@ class StoreEngine:
                 raise ConfigError(
                     f"sweep store {self.path!r} has no schema_version")
             version = int(row["value"])
+            if version == 1:
+                self._migrate_v1_to_v2(conn)
+                return
             if version != STORE_SCHEMA_VERSION:
                 raise ConfigError(
                     f"sweep store {self.path!r} has schema version "
                     f"{version}; this build reads version "
                     f"{STORE_SCHEMA_VERSION}")
+
+    @staticmethod
+    def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+        """v1 -> v2: the retry-bookkeeping columns, purely additive.
+
+        Existing rows read as never-retried (``attempts=0``), which is
+        truthful -- v1 engines recorded one attempt and no retries."""
+        for ddl in (
+            "ALTER TABLE jobs ADD COLUMN attempts INTEGER NOT NULL DEFAULT 0",
+            "ALTER TABLE jobs ADD COLUMN last_error TEXT NOT NULL DEFAULT ''",
+            "ALTER TABLE jobs ADD COLUMN quarantined INTEGER NOT NULL "
+            "DEFAULT 0",
+        ):
+            conn.execute(ddl)
+        conn.execute("UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                     (str(STORE_SCHEMA_VERSION),))
 
 
 class SweepStore:
@@ -181,7 +244,9 @@ class SweepStore:
 
         Returns ``(sweep_id, resumed)``; ``resumed`` is True when the
         sweep already existed (its recorded jobs are reused, jobs stuck
-        ``running`` by a killed process are reset to ``pending``).
+        ``running`` by a killed process are reset to ``pending``, and
+        matrix cells missing entirely -- a repaired store that lost
+        rows to a torn page -- are re-inserted as ``pending``).
         """
         spec_hash = spec.spec_hash()
         sweep_id = f"{spec.name}-{spec_hash[:8]}"
@@ -197,6 +262,19 @@ class SweepStore:
                 conn.execute(
                     "UPDATE sweeps SET status = 'running' "
                     "WHERE sweep_id = ?", (sweep_id,))
+                conn.executemany(
+                    "INSERT OR IGNORE INTO jobs (job_id, sweep_id, idx, "
+                    "workload, controller, seed, base_seed, repeat, "
+                    "budget, faults, accesses, scale, workload_seed, "
+                    "fast_path, huge_pages, provider_id, status) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                    "?, ?, 'pending')",
+                    [(job.job_id, sweep_id, job.index, job.workload,
+                      job.controller, job.seed, job.base_seed, job.repeat,
+                      job.budget.label(), job.faults or "", job.accesses,
+                      job.scale, job.workload_seed, job.fast_path,
+                      int(job.huge_pages), job.provider_id)
+                     for job in jobs])
                 return sweep_id, True
             conn.execute(
                 "INSERT INTO sweeps (sweep_id, name, spec_hash, spec_json, "
@@ -244,10 +322,22 @@ class SweepStore:
         return {row["job_id"]: row["status"] for row in rows}
 
     def mark_job_running(self, job_id: str) -> None:
+        """Flip a job to running and count the attempt."""
         with self.engine.connect() as conn:
             conn.execute(
-                "UPDATE jobs SET status = 'running', started_at = ? "
-                "WHERE job_id = ?", (time.time(), job_id))
+                "UPDATE jobs SET status = 'running', started_at = ?, "
+                "attempts = attempts + 1 WHERE job_id = ?",
+                (time.time(), job_id))
+
+    def record_attempt_failure(self, job_id: str, error: str) -> None:
+        """A transient attempt failed but the job will be retried:
+        back to ``pending`` with the failure remembered in
+        ``last_error`` (the attempt counter already ticked when the
+        attempt started)."""
+        with self.engine.connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'pending', last_error = ? "
+                "WHERE job_id = ?", (error, job_id))
 
     def finish_job(
         self,
@@ -257,9 +347,11 @@ class SweepStore:
         error: str = "",
         budget_bytes: Optional[int] = None,
         result: Optional[SimResult] = None,
+        quarantined: bool = False,
     ) -> None:
         """Record a finished job: status, resolved budget, result row,
-        and the flattened headline metrics."""
+        and the flattened headline metrics.  ``quarantined`` marks a
+        transient failure that exhausted its retries."""
         if status not in JOB_STATES:
             raise ValueError(f"unknown job status {status!r}")
         result_json = None
@@ -270,10 +362,10 @@ class SweepStore:
         with self.engine.connect() as conn:
             conn.execute(
                 "UPDATE jobs SET status = ?, error = ?, elapsed_s = ?, "
-                "budget_bytes = ?, finished_at = ?, result_json = ? "
-                "WHERE job_id = ?",
+                "budget_bytes = ?, finished_at = ?, result_json = ?, "
+                "quarantined = ? WHERE job_id = ?",
                 (status, error, elapsed_s, budget_bytes, time.time(),
-                 result_json, job_id))
+                 result_json, int(quarantined), job_id))
             conn.execute("DELETE FROM metrics WHERE job_id = ?", (job_id,))
             if headline:
                 conn.executemany(
@@ -413,6 +505,131 @@ class SweepStore:
                 "JOIN jobs j ON j.job_id = m.job_id WHERE j.sweep_id = ? "
                 "ORDER BY m.job_id, m.key", (sweep_id,)).fetchall()
         return [tuple(row) for row in jobs] + [tuple(row) for row in metrics]
+
+    # ------------------------------------------------------------------
+    # Salvage
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def repair(cls, src: str, dst: str) -> Dict[str, int]:
+        """Salvage a damaged store into a fresh one at ``dst``.
+
+        Reads ``src`` raw (no schema gate -- it is damaged by
+        hypothesis), copies every ``done`` job whose result document
+        still parses verbatim, resets everything else to ``pending``,
+        and marks the salvaged sweeps ``interrupted`` so a re-run
+        against the new store resumes exactly the unsalvageable cells.
+        Rows sqlite can no longer read are skipped, not fatal.  Also
+        reads v1-era stores (missing retry columns default to zero).
+        Returns salvage counts for the CLI report.
+        """
+        if not os.path.exists(src):
+            raise ConfigError(f"no sweep store at {src!r}")
+        if os.path.exists(dst):
+            raise ConfigError(
+                f"refusing to overwrite existing {dst!r}; point --out at "
+                f"a fresh path")
+
+        def _read_rows(conn: sqlite3.Connection, table: str) -> List[dict]:
+            # Row-at-a-time so everything before the first torn page is
+            # still salvaged; a list comprehension would lose the lot.
+            rows: List[dict] = []
+            try:
+                cursor = conn.execute(f"SELECT * FROM {table}")
+                while True:
+                    row = cursor.fetchone()
+                    if row is None:
+                        break
+                    rows.append(dict(row))
+            except sqlite3.Error:
+                pass
+            return rows
+
+        try:
+            src_conn = sqlite3.connect(src, timeout=30.0)
+        except sqlite3.Error as error:
+            raise ResourceError(f"cannot open damaged store {src!r}: {error}")
+        src_conn.row_factory = sqlite3.Row
+        try:
+            sweeps = _read_rows(src_conn, "sweeps")
+            jobs = _read_rows(src_conn, "jobs")
+            metrics = _read_rows(src_conn, "metrics")
+        finally:
+            src_conn.close()
+        if not sweeps and not jobs:
+            raise ConfigError(
+                f"nothing salvageable in {src!r}: no readable sweep or "
+                f"job rows")
+
+        counts = {"sweeps": 0, "jobs_salvaged": 0, "jobs_reset": 0,
+                  "metrics": 0}
+        salvaged_ids = set()
+        store = cls.open(dst)
+        with store.engine.connect() as conn:
+            for sweep in sweeps:
+                conn.execute(
+                    "INSERT OR IGNORE INTO sweeps (sweep_id, name, "
+                    "spec_hash, spec_json, status, created_at) "
+                    "VALUES (?, ?, ?, ?, 'interrupted', ?)",
+                    (sweep.get("sweep_id"), sweep.get("name", ""),
+                     sweep.get("spec_hash", ""), sweep.get("spec_json", ""),
+                     sweep.get("created_at", 0.0)))
+                counts["sweeps"] += 1
+            for job in jobs:
+                done = job.get("status") == "done"
+                result_json = job.get("result_json")
+                if done and result_json:
+                    try:
+                        json.loads(result_json)
+                    except (TypeError, ValueError):
+                        done = False
+                else:
+                    done = False
+                if done:
+                    counts["jobs_salvaged"] += 1
+                    salvaged_ids.add(job.get("job_id"))
+                else:
+                    counts["jobs_reset"] += 1
+                conn.execute(
+                    "INSERT OR IGNORE INTO jobs (job_id, sweep_id, idx, "
+                    "workload, controller, seed, base_seed, repeat, budget, "
+                    "budget_bytes, faults, accesses, scale, workload_seed, "
+                    "fast_path, huge_pages, provider_id, status, error, "
+                    "attempts, last_error, quarantined, elapsed_s, "
+                    "started_at, finished_at, result_json) VALUES "
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                    "?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (job.get("job_id"), job.get("sweep_id"),
+                     job.get("idx", 0), job.get("workload", ""),
+                     job.get("controller", ""), job.get("seed", 0),
+                     job.get("base_seed", 0), job.get("repeat", 0),
+                     job.get("budget", "none"),
+                     job.get("budget_bytes") if done else None,
+                     job.get("faults", ""), job.get("accesses", 0),
+                     job.get("scale", 1.0), job.get("workload_seed", 0),
+                     job.get("fast_path", ""),
+                     job.get("huge_pages", 0), job.get("provider_id", ""),
+                     "done" if done else "pending",
+                     job.get("error", "") if done else "",
+                     job.get("attempts", 0), job.get("last_error", ""),
+                     job.get("quarantined", 0) if done else 0,
+                     job.get("elapsed_s") if done else None,
+                     job.get("started_at") if done else None,
+                     job.get("finished_at") if done else None,
+                     result_json if done else None))
+            for metric in metrics:
+                if metric.get("job_id") not in salvaged_ids:
+                    continue
+                try:
+                    value = float(metric.get("value"))
+                except (TypeError, ValueError):
+                    continue
+                conn.execute(
+                    "INSERT OR IGNORE INTO metrics (job_id, key, value) "
+                    "VALUES (?, ?, ?)",
+                    (metric.get("job_id"), metric.get("key", ""), value))
+                counts["metrics"] += 1
+        return counts
 
 
 def _result_from_json(raw: str) -> SimResult:

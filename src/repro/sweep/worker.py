@@ -23,18 +23,32 @@ Per-job timeouts reuse :class:`~repro.sim.supervisor.RunSupervisor`'s
 wall-clock watchdog discipline: the run stops *gracefully*, the partial
 result is returned flagged truncated, and the job is recorded with
 status ``timeout`` rather than killed from outside mid-write.
+
+Host-fault resilience (the :class:`WorkerPool` below): each worker owns
+a private task queue, so the parent always knows which (job, attempt)
+a worker holds -- when a child dies (OOM killer, chaos SIGKILL) or its
+heartbeat goes stale (hung child), the pool synthesizes a transient
+failure record for exactly that attempt, replaces the worker, and the
+engine's retry policy decides what happens next.  Result records carry
+a content digest computed worker-side, so in-flight corruption is
+detected parent-side and treated as one more transient failure.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
+import os
+import signal
 import time
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ResourceError, classify_error
 from repro.core.compmodel import PageCompressionModel
 from repro.core.config import SystemConfig
 from repro.sim.results import SimResult
+from repro.sweep.chaos import ChaosSchedule
 from repro.sweep.spec import JobSpec
 from repro.workloads.trace import Workload
 
@@ -74,6 +88,19 @@ def clear_model_cache() -> None:
     _MODEL_CACHE.clear()
 
 
+def result_digest(result: Optional[SimResult]) -> Optional[str]:
+    """A short content digest of a result document.
+
+    Computed by the worker before the record crosses the process
+    boundary and re-computed by the engine after; a mismatch means the
+    record was corrupted in flight and the attempt must not be trusted.
+    """
+    if result is None:
+        return None
+    payload = json.dumps(result.as_dict(), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
 def execute_job(
     job: JobSpec,
     budget_bytes: Optional[int] = None,
@@ -82,6 +109,7 @@ def execute_job(
     system: Optional[SystemConfig] = None,
     model: Optional[PageCompressionModel] = None,
     capture_errors: bool = True,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> dict:
     """Run one matrix cell end to end; returns the job's result record.
 
@@ -145,10 +173,11 @@ def execute_job(
             fault_plan=fault_plan,
             fast_path=job.fast_path,
         )
-        if timeout_s is not None:
+        if timeout_s is not None or heartbeat is not None:
             from repro.sim.supervisor import RunSupervisor
 
-            result = RunSupervisor(wall_clock_limit_s=timeout_s).run(sim)
+            result = RunSupervisor(wall_clock_limit_s=timeout_s,
+                                   heartbeat=heartbeat).run(sim)
         else:
             result = sim.run()
     except Exception as error:
@@ -162,15 +191,48 @@ def execute_job(
 # The worker pool
 # ----------------------------------------------------------------------
 
-def _pool_main(tasks, results) -> None:
-    """Worker-process loop: execute jobs until the ``None`` sentinel."""
+def _pool_main(slot, tasks, results, heartbeats,
+               chaos: Optional[ChaosSchedule]) -> None:
+    """Worker-process loop: execute jobs until the ``None`` sentinel.
+
+    ``heartbeats[slot]`` is the worker's liveness slot in the shared
+    array; it is bumped on every dequeue and, via the supervisor's
+    watchdog stride, throughout each simulation.  Chaos faults that
+    target the worker side (self-SIGKILL, hang, result corruption) are
+    inflicted here, exactly where the real failures they model strike.
+    """
+
+    def beat() -> None:
+        if heartbeats is not None:
+            heartbeats[slot] = time.monotonic()
+
     while True:
         item = tasks.get()
         if item is None:
             return
-        job, budget_bytes, timeout_s = item
+        job, budget_bytes, timeout_s, attempt = item
+        beat()
         try:
-            results.put(execute_job(job, budget_bytes, timeout_s))
+            action = (chaos.worker_action(job.index, attempt)
+                      if chaos is not None else None)
+            if action is not None:
+                kind, param = action
+                if kind == "worker_kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                # ``hang``: go silent -- no heartbeats -- so the parent's
+                # staleness check, not this sleep, decides our fate.
+                time.sleep(param)
+            record = execute_job(job, budget_bytes, timeout_s,
+                                 heartbeat=beat)
+            record["worker_slot"] = slot
+            record["attempt"] = attempt
+            record["result_digest"] = result_digest(record["result"])
+            if (chaos is not None and chaos.corrupts(job.index, attempt)
+                    and record["result"] is not None):
+                # Post-digest mutation: the engine's digest check must
+                # catch this, never the metrics tables.
+                record["result"].elapsed_ns += 1.0
+            results.put(record)
         except BaseException as error:  # never wedge the dispatcher
             results.put({
                 "job_id": job.job_id, "status": "failed",
@@ -179,82 +241,225 @@ def _pool_main(tasks, results) -> None:
                 "error_kind": classify_error(error)
                 if isinstance(error, Exception) else "resource",
                 "elapsed_s": 0.0, "budget_bytes": budget_bytes,
-                "result": None,
+                "result": None, "worker_slot": slot, "attempt": attempt,
+                "result_digest": None,
             })
             if isinstance(error, KeyboardInterrupt):
                 return
 
 
-class WorkerPool:
-    """A queue-fed multiprocessing pool of sweep-job workers.
+class _WorkerHandle:
+    """One worker process plus its private task queue and current job."""
 
-    Jobs go down a task queue, result records come back on a result
-    queue in completion order; the dispatcher (the sweep engine) owns
-    scheduling and the store, workers only simulate.  Prefers ``fork``
-    so pre-built workload traces are shared copy-on-write; falls back
-    to ``spawn`` where fork is unavailable (workers then rebuild their
-    caches on first use).
+    def __init__(self, ctx, slot: int, results, heartbeats,
+                 chaos: Optional[ChaosSchedule]) -> None:
+        self.slot = slot
+        self.tasks = ctx.Queue()
+        self.proc = ctx.Process(
+            target=_pool_main,
+            args=(slot, self.tasks, results, heartbeats, chaos),
+            daemon=True)
+        #: (job, budget_bytes, attempt, submitted_at) while busy.
+        self.current: Optional[Tuple[JobSpec, Optional[int], int,
+                                     float]] = None
+        self.proc.start()
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    def drop_queue(self) -> None:
+        try:
+            self.tasks.close()
+        except Exception:
+            pass
+
+
+class WorkerPool:
+    """A supervised multiprocessing pool of sweep-job workers.
+
+    Each worker owns a **private task queue** and at most one in-flight
+    job, so the parent always knows which (job, attempt) a worker
+    holds.  Result records come back on one shared queue in completion
+    order; the dispatcher (the sweep engine) owns scheduling and the
+    store, workers only simulate.  Prefers ``fork`` so pre-built
+    workload traces are shared copy-on-write; falls back to ``spawn``
+    where fork is unavailable (workers then rebuild their caches on
+    first use).
+
+    Supervision: a worker found dead mid-job (OOM killer, chaos
+    SIGKILL) or heartbeat-stale past ``heartbeat_timeout_s`` (hung) is
+    killed and replaced -- with a *fresh* task queue, so a half-fed
+    queue can never replay a job -- and the pool synthesizes a
+    transient (``error_kind="resource"``) failure record for exactly
+    the attempt it owned.  Late records from a worker already declared
+    dead are dropped by (job, attempt) ownership matching.  Respawns
+    are capped; blowing the cap means the host itself is sick and
+    surfaces as a :class:`ResourceError`.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int,
+                 chaos: Optional[ChaosSchedule] = None,
+                 heartbeat_timeout_s: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat timeout must be > 0 s, got {heartbeat_timeout_s}")
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
-        self._inflight = 0
-        self._procs = [
-            self._ctx.Process(target=_pool_main,
-                              args=(self._tasks, self._results), daemon=True)
-            for _ in range(workers)
+        self._heartbeats = self._ctx.Array("d", workers, lock=False)
+        self._chaos = chaos
+        self._heartbeat_timeout_s = heartbeat_timeout_s
+        self._respawns = 0
+        self._max_respawns = 32 + 4 * workers
+        self._handles: List[_WorkerHandle] = [
+            _WorkerHandle(self._ctx, slot, self._results, self._heartbeats,
+                          chaos)
+            for slot in range(workers)
         ]
-        for proc in self._procs:
-            proc.start()
 
     @property
     def inflight(self) -> int:
-        return self._inflight
+        return sum(1 for handle in self._handles if handle.busy)
+
+    @property
+    def has_idle(self) -> bool:
+        return any(not handle.busy for handle in self._handles)
 
     def submit(self, job: JobSpec, budget_bytes: Optional[int],
-               timeout_s: Optional[float]) -> None:
-        self._tasks.put((job, budget_bytes, timeout_s))
-        self._inflight += 1
+               timeout_s: Optional[float], attempt: int = 1) -> None:
+        handle = self._idle_handle()
+        if handle is None:
+            raise RuntimeError("no idle worker to submit to")
+        now = time.monotonic()
+        self._heartbeats[handle.slot] = now
+        handle.current = (job, budget_bytes, attempt, now)
+        handle.tasks.put((job, budget_bytes, timeout_s, attempt))
+
+    def _idle_handle(self) -> Optional[_WorkerHandle]:
+        for handle in self._handles:
+            if handle.busy:
+                continue
+            if not handle.proc.is_alive():
+                self._replace(handle)
+                handle = self._handles[handle.slot]
+            return handle
+        return None
+
+    def _replace(self, handle: _WorkerHandle) -> None:
+        """Kill (if needed) and respawn the worker at ``handle.slot``."""
+        self._respawns += 1
+        if self._respawns > self._max_respawns:
+            raise ResourceError(
+                f"sweep workers died or hung {self._respawns} times; "
+                f"giving up on this host -- re-run to resume from the "
+                f"store")
+        if handle.proc.is_alive():
+            handle.proc.kill()
+        handle.proc.join(timeout=5.0)
+        handle.drop_queue()
+        self._handles[handle.slot] = _WorkerHandle(
+            self._ctx, handle.slot, self._results, self._heartbeats,
+            self._chaos)
+
+    def _failure_record(self, handle: _WorkerHandle, error: str,
+                        error_type: str) -> dict:
+        job, budget_bytes, attempt, submitted_at = handle.current
+        return {
+            "job_id": job.job_id, "status": "failed", "error": error,
+            "error_type": error_type, "error_kind": "resource",
+            "elapsed_s": time.monotonic() - submitted_at,
+            "budget_bytes": budget_bytes, "result": None,
+            "worker_slot": handle.slot, "attempt": attempt,
+            "result_digest": None,
+        }
+
+    def _supervise(self) -> Optional[dict]:
+        """One supervision pass over the busy workers.
+
+        Returns a synthesized failure record when a busy worker is
+        found dead or hung (after replacing it), else None.  Idle
+        workers are left alone -- they have nothing to report and are
+        lazily respawned by :meth:`submit` if dead.
+        """
+        now = time.monotonic()
+        for handle in self._handles:
+            if not handle.busy:
+                continue
+            if not handle.proc.is_alive():
+                exitcode = handle.proc.exitcode
+                record = self._failure_record(
+                    handle,
+                    f"sweep worker died mid-job (exit code {exitcode})",
+                    "WorkerDied")
+                handle.proc.join(timeout=1.0)
+                handle.current = None
+                self._replace(handle)
+                return record
+            if self._heartbeat_timeout_s is not None:
+                stale_s = now - self._heartbeats[handle.slot]
+                if stale_s > self._heartbeat_timeout_s:
+                    record = self._failure_record(
+                        handle,
+                        f"sweep worker hung (no heartbeat for "
+                        f"{stale_s:.1f} s)", "WorkerHung")
+                    handle.current = None
+                    self._replace(handle)
+                    return record
+        return None
 
     def next_result(self) -> dict:
-        """Block until any in-flight job finishes; detects dead workers."""
-        if self._inflight <= 0:
+        """Block until any in-flight job finishes (or its worker is
+        declared dead/hung); stale late records are dropped."""
+        if self.inflight <= 0:
             raise RuntimeError("no in-flight jobs to wait for")
         import queue as queue_module
 
         while True:
             try:
-                result = self._results.get(timeout=1.0)
+                record = self._results.get(timeout=0.2)
             except queue_module.Empty:
-                if not any(proc.is_alive() for proc in self._procs):
-                    raise ResourceError(
-                        "all sweep workers died without reporting results; "
-                        "re-run to resume from the store")
+                synthesized = self._supervise()
+                if synthesized is not None:
+                    return synthesized
                 continue
-            self._inflight -= 1
-            return result
+            handle = self._owner_of(record)
+            if handle is None:
+                continue  # late record from a replaced worker: drop
+            handle.current = None
+            return record
+
+    def _owner_of(self, record: dict) -> Optional[_WorkerHandle]:
+        slot = record.get("worker_slot")
+        if slot is None or not 0 <= slot < len(self._handles):
+            return None
+        handle = self._handles[slot]
+        if not handle.busy:
+            return None
+        job, _, attempt, _ = handle.current
+        if (job.job_id, attempt) != (record.get("job_id"),
+                                     record.get("attempt")):
+            return None
+        return handle
 
     def close(self) -> None:
-        """Stop workers: sentinel each, join briefly, terminate stragglers."""
-        for _ in self._procs:
+        """Stop workers: sentinel each, join briefly, kill stragglers."""
+        for handle in self._handles:
             try:
-                self._tasks.put_nowait(None)
-            except Exception:
-                break
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-        for resource in (self._tasks, self._results):
-            try:
-                resource.close()
+                handle.tasks.put_nowait(None)
             except Exception:
                 pass
+        for handle in self._handles:
+            handle.proc.join(timeout=2.0)
+        for handle in self._handles:
+            if handle.proc.is_alive():
+                handle.proc.kill()
+                handle.proc.join(timeout=1.0)
+            handle.drop_queue()
+        try:
+            self._results.close()
+        except Exception:
+            pass

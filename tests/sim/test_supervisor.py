@@ -6,6 +6,7 @@ an uninterrupted run, down to the last float (RNG streams, clock, and
 fault-injector position all travel in the checkpoint).
 """
 
+import os
 import pickle
 
 import pytest
@@ -108,6 +109,59 @@ def test_checkpoint_detaches_then_restores_bus_subscribers(tmp_path):
     assert not restored.context.bus.active  # but not pickled
     sim.run()
     assert events, "subscribers must keep firing after a checkpoint"
+
+
+# ----------------------------------------------------------------------
+# Durability and liveness
+# ----------------------------------------------------------------------
+
+def test_crash_between_write_and_replace_leaves_durable_tmp(
+        tmp_path, monkeypatch):
+    """A crash between the tmp write and the rename (simulated:
+    os.replace raising) must never leave a torn final checkpoint, and
+    the tmp file must already hold the complete fsynced payload."""
+    path = str(tmp_path / "ck.pkl")
+    fsynced = []
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        fsynced.append(fd)
+        return real_fsync(fd)
+
+    def crash(src, dst):
+        raise OSError("simulated crash between write and rename")
+
+    monkeypatch.setattr(os, "fsync", counting_fsync)
+    monkeypatch.setattr(os, "replace", crash)
+    with pytest.raises(ResourceError, match="cannot write checkpoint"):
+        save_checkpoint(small_sim(), path)
+    assert not os.path.exists(path)  # the final path was never touched
+    assert fsynced  # the payload hit disk before the rename attempt
+    with open(path + ".tmp", "rb") as handle:
+        record = pickle.load(handle)  # complete, not torn
+    assert record["version"] == CHECKPOINT_VERSION
+
+
+def test_checkpoint_write_fsyncs_file_then_directory(tmp_path,
+                                                     monkeypatch):
+    calls = []
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        calls.append(fd)
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", counting_fsync)
+    save_checkpoint(small_sim(), str(tmp_path / "ck.pkl"))
+    assert len(calls) >= 2  # the tmp file's bytes, then the dir entry
+
+
+def test_supervisor_heartbeat_fires_on_the_watchdog_stride():
+    beats = []
+    supervisor = RunSupervisor(heartbeat=lambda: beats.append(1))
+    result = supervisor.run(small_sim())
+    assert not result.truncated
+    assert len(beats) >= result.accesses // 64
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,180 @@
+"""Host-chaos layer: plan parsing, schedule determinism, and the
+engine surviving injected worker kills, hangs, ENOSPC store writes,
+and corrupted result rows.
+
+The end-to-end tests run real (tiny) pool sweeps -- the acceptance bar
+is the chaos determinism golden: every injected fault is absorbed by
+retry (or quarantined), and the surviving metric rows are
+``fingerprint_rows``-identical to a fault-free run.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sweep.chaos import CHAOS_KINDS, ChaosPlan, ChaosSpec
+from repro.sweep.engine import RetryPolicy, run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="c",
+        workloads=("mcf", "omnetpp"),
+        controllers=("compresso", "tmcc@iso"),
+        accesses=1_500,
+        scale=0.05,
+    )
+    base.update(overrides)
+    return SweepSpec.build(**base)
+
+
+#: Fast backoff so retry-heavy tests stay quick.
+FAST_RETRY = RetryPolicy(max_retries=3, backoff_s=0.01, backoff_cap_s=0.05)
+
+
+# ----------------------------------------------------------------------
+# Plan parsing / schedule resolution
+# ----------------------------------------------------------------------
+
+def test_parse_round_trips_through_describe():
+    plan = ChaosPlan.parse("worker_kill:2,hang:1:7.5@3,enospc:1", seed=9)
+    assert plan.seed == 9
+    assert [spec.kind for spec in plan.specs] == [
+        "worker_kill", "hang", "enospc"]
+    assert plan.specs[1].param == 7.5 and plan.specs[1].target == 3
+    assert ChaosPlan.parse(plan.describe(), seed=9) == plan
+
+
+def test_parse_rejects_bad_plans():
+    for text, match in (
+        ("explode:1", "unknown chaos kind"),
+        ("worker_kill:1:2:3", "too many fields"),
+        ("hang:one", "numeric"),
+        ("hang:1:5@x", "job index"),
+        ("hang:0", ">= 1"),
+        ("hang:1:-2", "> 0"),
+        (" , ", "no specs"),
+    ):
+        with pytest.raises(ConfigError, match=match):
+            ChaosPlan.parse(text)
+
+
+def test_resolution_is_deterministic_in_the_seed():
+    plan = ChaosPlan.parse("worker_kill:1,enospc:2,corrupt_row:1", seed=7)
+    first = plan.resolve(16)
+    again = ChaosPlan.parse(plan.describe(), seed=7).resolve(16)
+    assert first.worker_actions == again.worker_actions
+    assert first.store_faults == again.store_faults
+    assert first.corruptions == again.corruptions
+    other = ChaosPlan.parse(plan.describe(), seed=8).resolve(16)
+    assert (first.worker_actions, first.store_faults, first.corruptions) \
+        != (other.worker_actions, other.store_faults, other.corruptions)
+
+
+def test_explicit_target_wins_and_is_range_checked():
+    schedule = ChaosPlan.parse("hang:1:9@2").resolve(4)
+    assert schedule.worker_actions == {2: ("hang", 9.0, 1)}
+    with pytest.raises(ConfigError, match="outside"):
+        ChaosPlan.parse("hang:1:9@4").resolve(4)
+
+
+def test_schedule_fires_on_attempts_up_to_count():
+    schedule = ChaosPlan.parse(
+        "worker_kill:2@0,enospc:1@1,corrupt_row:3@2").resolve(4)
+    assert schedule.worker_action(0, 1) == ("worker_kill", 30.0)
+    assert schedule.worker_action(0, 2) == ("worker_kill", 30.0)
+    assert schedule.worker_action(0, 3) is None
+    assert schedule.worker_action(3, 1) is None
+    assert schedule.store_fault(1, 1) and not schedule.store_fault(1, 2)
+    assert schedule.corrupts(2, 3) and not schedule.corrupts(2, 4)
+
+
+def test_every_kind_parses():
+    for kind in CHAOS_KINDS:
+        assert ChaosPlan.parse(kind).specs[0] == ChaosSpec(kind=kind)
+
+
+def test_chaos_requires_a_worker_pool():
+    with pytest.raises(ConfigError, match="workers >= 2"):
+        run_sweep(tiny_spec(), chaos=ChaosPlan.parse("worker_kill:1"))
+
+
+# ----------------------------------------------------------------------
+# End to end: faults absorbed, rows identical to a fault-free run
+# ----------------------------------------------------------------------
+
+def test_chaos_sweep_rows_identical_to_fault_free(tmp_path):
+    """The determinism golden: a worker SIGKILL, an ENOSPC store
+    write, and a corrupted result row are all absorbed by retries and
+    the surviving rows match a clean run exactly."""
+    spec = tiny_spec()
+    control = run_sweep(spec, store=str(tmp_path / "control.db"))
+    chaotic = run_sweep(
+        spec, store=str(tmp_path / "chaos.db"), workers=2,
+        chaos=ChaosPlan.parse("worker_kill:1,enospc:1,corrupt_row:1",
+                              seed=7),
+        retry=FAST_RETRY)
+    assert chaotic.ok and control.ok
+    assert sum(chaotic.attempts.values()) > len(chaotic.jobs)  # retried
+    assert chaotic.store.fingerprint_rows(chaotic.sweep_id) == \
+        control.store.fingerprint_rows(control.sweep_id)
+
+
+def test_hung_worker_is_replaced_and_job_retried(tmp_path):
+    """A worker that goes silent past the heartbeat timeout is killed,
+    replaced, and its job re-run to completion."""
+    spec = tiny_spec(workloads=("mcf",))
+    control = run_sweep(spec, store=str(tmp_path / "control.db"))
+    events = []
+    chaotic = run_sweep(
+        spec, store=str(tmp_path / "chaos.db"), workers=2,
+        chaos=ChaosPlan.parse("hang:1:60@0"),
+        retry=FAST_RETRY, heartbeat_timeout_s=1.0,
+        progress=lambda event, job, record: events.append((event, record)))
+    assert chaotic.ok
+    hung = [record for event, record in events if event == "retry"]
+    assert hung and hung[0]["error_type"] == "WorkerHung"
+    assert chaotic.store.fingerprint_rows(chaotic.sweep_id) == \
+        control.store.fingerprint_rows(control.sweep_id)
+
+
+def test_corrupt_row_never_reaches_the_store(tmp_path):
+    """Digest-mismatched records must be retried, not recorded."""
+    spec = tiny_spec(workloads=("mcf",))
+    events = []
+    run = run_sweep(
+        spec, store=str(tmp_path / "s.db"), workers=2,
+        chaos=ChaosPlan.parse("corrupt_row:1@0"), retry=FAST_RETRY,
+        progress=lambda event, job, record: events.append((event, record)))
+    assert run.ok
+    corrupt = [record for event, record in events if event == "retry"]
+    assert corrupt and corrupt[0]["error_type"] == "CorruptResult"
+    for job in run.store.jobs(run.sweep_id):
+        assert job["status"] == "done" and not job["quarantined"]
+
+
+def test_exhausted_retries_quarantine_not_abort(tmp_path):
+    """An unkillable fault quarantines its job; the rest of the matrix
+    completes, and a resume skips the quarantined cell."""
+    spec = tiny_spec()
+    path = str(tmp_path / "s.db")
+    run = run_sweep(
+        spec, store=path, workers=2,
+        chaos=ChaosPlan.parse("worker_kill:9@0"),
+        retry=RetryPolicy(max_retries=1, backoff_s=0.01,
+                          backoff_cap_s=0.05))
+    victim = run.jobs[0]
+    assert not run.ok
+    assert list(run.quarantined) == [victim.job_id]
+    assert run.quarantined[victim.job_id]["attempts"] == 2
+    assert run.statuses[victim.job_id] == "failed"
+    # The other independent cells still completed.
+    assert run.statuses[run.jobs[2].job_id] == "done"
+    row = next(job for job in run.store.jobs(run.sweep_id)
+               if job["job_id"] == victim.job_id)
+    assert row["quarantined"] == 1 and row["attempts"] == 2
+
+    resumed = run_sweep(spec, store=path, workers=2,
+                        chaos=ChaosPlan.parse("worker_kill:9@0"))
+    assert resumed.resumed and resumed.skipped == len(spec.expand())
+    assert not resumed.quarantined  # nothing re-ran, nothing new

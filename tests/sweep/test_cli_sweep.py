@@ -108,6 +108,74 @@ def test_sweep_run_failed_job_exits_1(tmp_path, capsys):
     assert "failed" in out
 
 
+def test_sweep_robustness_flag_validation(tmp_path, capsys):
+    store = str(tmp_path / "s.db")
+    assert main(["sweep", "run", "smoke", "--store", store,
+                 "--max-retries=-1"]) == 2
+    assert "--max-retries" in capsys.readouterr().err
+    assert main(["sweep", "run", "smoke", "--store", store,
+                 "--heartbeat-timeout", "0"]) == 2
+    assert "--heartbeat-timeout" in capsys.readouterr().err
+    assert main(["sweep", "run", "smoke", "--store", store,
+                 "--chaos", "worker_kill:1"]) == 2
+    assert "-j 2" in capsys.readouterr().err
+    assert main(["sweep", "run", "smoke", "--store", store, "-j", "2",
+                 "--chaos", "worker_kill:1", "--no-chaos"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["sweep", "run", "smoke", "--store", store, "-j", "2",
+                 "--chaos", "explode:1"]) == 2
+    assert "unknown chaos kind" in capsys.readouterr().err
+
+
+def test_sweep_quarantine_exit_code_and_report(tmp_path, capsys):
+    """An unkillable chaos fault: exit 4, a quarantine report on
+    stderr, and `sweep show` flagging the cell."""
+    spec = write_spec(tmp_path)
+    store = str(tmp_path / "s.db")
+    code = main(["sweep", "run", spec, "--store", store, "-j", "2",
+                 "--chaos", "worker_kill:9@0", "--max-retries", "1"])
+    captured = capsys.readouterr()
+    assert code == 4
+    assert "quarantined" in captured.out
+    assert "quarantine report" in captured.err
+    assert "after 2 attempts" in captured.err
+
+    assert main(["sweep", "show", "clismoke", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "[quarantined]" in out
+    assert " try " in out  # the attempts column made it into the header
+
+
+def test_sweep_show_reports_attempts(tmp_path, capsys):
+    spec = write_spec(tmp_path)
+    store = str(tmp_path / "s.db")
+    assert main(["sweep", "run", spec, "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "show", "clismoke", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert " try " in out
+    # Every fault-free job took exactly one attempt, none quarantined.
+    done = [line for line in out.splitlines() if " done " in line]
+    assert done and all("   1 " in line for line in done)
+    assert "[quarantined]" not in out
+
+
+def test_sweep_repair_command(tmp_path, capsys):
+    spec = write_spec(tmp_path)
+    store = str(tmp_path / "s.db")
+    out = str(tmp_path / "repaired.db")
+    assert main(["sweep", "run", spec, "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "repair", store, "--out", out]) == 0
+    captured = capsys.readouterr()
+    assert "2 job(s) salvaged" in captured.out
+    assert main(["sweep", "show", "clismoke", "--store", out]) == 0
+    assert "done" in capsys.readouterr().out
+    assert main(["sweep", "repair", str(tmp_path / "missing.db"),
+                 "--out", str(tmp_path / "x.db")]) == 2
+    assert "no sweep store" in capsys.readouterr().err
+
+
 def test_sweep_spec_hash_stability():
     # The CLI resume path keys on the spec hash: loading the same file
     # twice (or the equivalent dict) must find the same sweep.

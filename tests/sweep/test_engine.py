@@ -1,15 +1,22 @@
-"""Engine layer: scheduling, resume, and worker-count determinism.
+"""Engine layer: scheduling, resume, retries, and worker-count
+determinism.
 
 These run real (tiny) simulations -- 1.5k accesses at 5% scale -- so
 every assertion is against genuine end-to-end rows.
 """
 
+import os
+import signal
+import sqlite3
+import time
+
 import pytest
 
-from repro.common.errors import ConfigError
-from repro.sweep.engine import run_sweep
+from repro.common.errors import ConfigError, ResourceError
+from repro.sweep.engine import RetryPolicy, run_sweep
 from repro.sweep.spec import SweepSpec
 from repro.sweep.store import SweepStore
+from repro.sweep.worker import WorkerPool
 
 
 def tiny_spec(**overrides):
@@ -158,3 +165,233 @@ def test_invalid_engine_arguments_rejected():
         run_sweep(spec, workers=2, system=object())
     with pytest.raises(ConfigError, match="inline-only"):
         run_sweep(spec, workers=2, capture_errors=False)
+    with pytest.raises(ConfigError, match="heartbeat"):
+        run_sweep(spec, heartbeat_timeout_s=0.0)
+    with pytest.raises(ConfigError, match="max_retries"):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ConfigError, match="backoff"):
+        RetryPolicy(backoff_s=2.0, backoff_cap_s=1.0)
+
+
+# ----------------------------------------------------------------------
+# Retry / quarantine
+# ----------------------------------------------------------------------
+
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_s=0.001,
+                         backoff_cap_s=0.01)
+
+
+def flaky_execute_job(fail_attempts, record_status="failed"):
+    """An execute_job stand-in that fails transiently the first
+    ``fail_attempts`` times a job is seen, then delegates to the real
+    thing."""
+    from repro.sweep import worker
+
+    seen = {}
+
+    def fake(job, budget_bytes=None, timeout_s=None, **kwargs):
+        seen[job.job_id] = seen.get(job.job_id, 0) + 1
+        if seen[job.job_id] <= fail_attempts:
+            return {
+                "job_id": job.job_id, "status": record_status,
+                "error": "synthetic transient failure",
+                "error_type": "SyntheticError", "error_kind": "resource",
+                "elapsed_s": 0.0, "budget_bytes": budget_bytes,
+                "result": None,
+            }
+        return worker.execute_job(job, budget_bytes, timeout_s, **kwargs)
+
+    return fake
+
+
+def test_inline_transient_failure_retries_to_success(tmp_path,
+                                                     monkeypatch):
+    import repro.sweep.engine as engine_module
+
+    monkeypatch.setattr(engine_module, "execute_job",
+                        flaky_execute_job(fail_attempts=1))
+    spec = tiny_spec(workloads=("mcf",))
+    events = []
+    run = run_sweep(spec, store=str(tmp_path / "s.db"), retry=FAST_RETRY,
+                    progress=lambda event, job, record:
+                    events.append(event))
+    assert run.ok and not run.quarantined
+    assert all(count == 2 for count in run.attempts.values())
+    assert events.count("retry") == len(run.jobs)
+    for row in run.store.jobs(run.sweep_id):
+        assert row["attempts"] == 2
+        assert row["last_error"] == "synthetic transient failure"
+        assert row["quarantined"] == 0
+
+
+def test_permanent_failure_is_not_retried(tmp_path):
+    # A 1-byte budget raises ConfigError deterministically: exactly one
+    # attempt, no quarantine flag (it would fail forever anyway).
+    spec = tiny_spec(workloads=("mcf",),
+                     controllers=({"name": "tmcc", "budgets": [1]},))
+    run = run_sweep(spec, store=str(tmp_path / "s.db"), retry=FAST_RETRY)
+    job_id = run.jobs[0].job_id
+    assert run.statuses[job_id] == "failed"
+    assert run.attempts[job_id] == 1 and not run.quarantined
+
+
+def test_inline_exhausted_retries_quarantine(tmp_path, monkeypatch):
+    import repro.sweep.engine as engine_module
+
+    monkeypatch.setattr(engine_module, "execute_job",
+                        flaky_execute_job(fail_attempts=99))
+    spec = tiny_spec(workloads=("mcf",), controllers=("compresso",))
+    run = run_sweep(spec, store=str(tmp_path / "s.db"), retry=FAST_RETRY)
+    job_id = run.jobs[0].job_id
+    assert run.statuses[job_id] == "failed"
+    assert run.attempts[job_id] == FAST_RETRY.max_retries + 1
+    assert run.quarantined[job_id]["error_type"] == "SyntheticError"
+    row = run.store.jobs(run.sweep_id)[0]
+    assert row["quarantined"] == 1
+
+
+def test_store_write_failure_is_retried(tmp_path, monkeypatch):
+    store = SweepStore.open(str(tmp_path / "s.db"))
+    real_finish = store.finish_job
+    failures = {"left": 1}
+
+    def flaky_finish(*args, **kwargs):
+        if failures["left"]:
+            failures["left"] -= 1
+            raise sqlite3.OperationalError("database is locked")
+        return real_finish(*args, **kwargs)
+
+    monkeypatch.setattr(store, "finish_job", flaky_finish)
+    spec = tiny_spec(workloads=("mcf",), controllers=("compresso",))
+    run = run_sweep(spec, store=store, retry=FAST_RETRY)
+    assert run.ok
+    assert store.jobs(run.sweep_id)[0]["status"] == "done"
+
+
+def test_store_write_failure_exhaustion_aborts(tmp_path, monkeypatch):
+    store = SweepStore.open(str(tmp_path / "s.db"))
+
+    def always_fail(*args, **kwargs):
+        raise sqlite3.OperationalError("database is locked")
+
+    monkeypatch.setattr(store, "finish_job", always_fail)
+    spec = tiny_spec(workloads=("mcf",), controllers=("compresso",))
+    with pytest.raises(ResourceError, match="cannot record"):
+        run_sweep(spec, store=store, retry=FAST_RETRY)
+
+
+def test_retry_delay_is_deterministic_and_capped():
+    policy = RetryPolicy(max_retries=5, backoff_s=0.5, backoff_cap_s=2.0)
+    delays = [policy.delay_s("job", attempt) for attempt in range(1, 6)]
+    assert delays == [policy.delay_s("job", attempt)
+                      for attempt in range(1, 6)]
+    assert all(delay <= 2.0 for delay in delays)
+    assert delays[1] > delays[0]  # exponential ramp before the cap
+    assert policy.delay_s("job", 1) != policy.delay_s("other", 1)  # jitter
+
+
+# ----------------------------------------------------------------------
+# WorkerPool supervision (external SIGKILL, not chaos)
+# ----------------------------------------------------------------------
+
+def busy_job():
+    """One real matrix cell big enough to survive until the test kills
+    its worker."""
+    return tiny_spec(workloads=("mcf",), controllers=("compresso",),
+                     accesses=60_000, scale=0.3).expand()[0]
+
+
+def busy_worker(pool, timeout_s=10.0):
+    """The handle of the worker the submitted job landed on, once its
+    process is demonstrably inside the job."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for handle in pool._handles:
+            if handle.busy and pool._heartbeats[handle.slot] > 0:
+                return handle
+        time.sleep(0.02)
+    raise AssertionError("no worker picked the job up")
+
+
+def test_pool_detects_sigkilled_worker_and_recovers():
+    """SIGKILL a worker mid-job: the pool must synthesize a transient
+    failure for that attempt, replace the worker, and complete the
+    job's retry."""
+    pool = WorkerPool(2)
+    try:
+        job = busy_job()
+        pool.submit(job, None, None, attempt=1)
+        victim = busy_worker(pool)
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        record = pool.next_result()
+        assert record["status"] == "failed"
+        assert record["error_type"] == "WorkerDied"
+        assert record["error_kind"] == "resource"
+        assert record["attempt"] == 1 and record["job_id"] == job.job_id
+        # The slot was respawned and can take the retry.
+        assert pool.has_idle
+        pool.submit(job, None, None, attempt=2)
+        retried = pool.next_result()
+        assert retried["status"] == "done" and retried["attempt"] == 2
+    finally:
+        pool.close()
+
+
+def test_pool_respawns_dead_idle_worker_on_submit():
+    pool = WorkerPool(1)
+    try:
+        first_pid = pool._handles[0].proc.pid
+        os.kill(first_pid, signal.SIGKILL)
+        pool._handles[0].proc.join(timeout=5.0)
+        job = tiny_spec(workloads=("mcf",),
+                        controllers=("compresso",)).expand()[0]
+        pool.submit(job, None, None, attempt=1)
+        assert pool._handles[0].proc.pid != first_pid
+        assert pool.next_result()["status"] == "done"
+    finally:
+        pool.close()
+
+
+def test_sweep_completes_through_external_worker_death(tmp_path):
+    """End to end: an externally SIGKILLed worker costs one attempt,
+    the engine requeues per retry policy, and the sweep lands
+    row-identical to an undisturbed run."""
+    spec = tiny_spec(workloads=("mcf",), controllers=("compresso",),
+                     accesses=60_000, scale=0.3)
+    control = run_sweep(spec, store=str(tmp_path / "control.db"))
+
+    store_path = str(tmp_path / "killed.db")
+    pool_holder = {}
+    original_init = WorkerPool.__init__
+
+    def capturing_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        pool_holder["pool"] = self
+
+    import unittest.mock
+
+    with unittest.mock.patch.object(WorkerPool, "__init__",
+                                    capturing_init):
+        import threading
+
+        def assassin():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                pool = pool_holder.get("pool")
+                if pool is not None:
+                    for handle in pool._handles:
+                        if handle.busy and pool._heartbeats[handle.slot]:
+                            os.kill(handle.proc.pid, signal.SIGKILL)
+                            return
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=assassin, daemon=True)
+        thread.start()
+        run = run_sweep(spec, store=store_path, workers=2,
+                        retry=RetryPolicy(max_retries=3, backoff_s=0.01,
+                                          backoff_cap_s=0.05))
+        thread.join(timeout=15.0)
+    assert run.ok
+    assert run.attempts[run.jobs[0].job_id] >= 2  # the kill cost one
+    assert run.store.fingerprint_rows(run.sweep_id) == \
+        control.store.fingerprint_rows(control.sweep_id)

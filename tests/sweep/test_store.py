@@ -1,5 +1,7 @@
-"""Store layer: registration, resume bookkeeping, schema gating, export."""
+"""Store layer: registration, resume bookkeeping, schema gating,
+migration, corruption recovery, and export."""
 
+import os
 import sqlite3
 
 import pytest
@@ -183,3 +185,212 @@ def test_non_store_files_rejected(tmp_path):
     conn.close()
     with pytest.raises(ConfigError, match="not a sweep store"):
         SweepStore.open(str(other_db))
+
+
+# ----------------------------------------------------------------------
+# Retry bookkeeping columns
+# ----------------------------------------------------------------------
+
+def test_attempt_bookkeeping_survives_success(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    job = jobs[0]
+    store.mark_job_running(job.job_id)
+    store.record_attempt_failure(job.job_id, "worker died")
+    row = store.jobs(sweep_id)[0]
+    assert row["status"] == "pending" and row["attempts"] == 1
+    assert row["last_error"] == "worker died"
+    store.mark_job_running(job.job_id)
+    store.finish_job(job.job_id, "done", elapsed_s=0.1,
+                     result=fake_result())
+    row = store.jobs(sweep_id)[0]
+    assert row["status"] == "done" and row["attempts"] == 2
+    assert row["last_error"] == "worker died"  # history preserved
+    assert row["quarantined"] == 0
+
+
+def test_quarantine_flag_round_trips(store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    store.mark_job_running(jobs[0].job_id)
+    store.finish_job(jobs[0].job_id, "failed", elapsed_s=0.1,
+                     error="worker kept dying", quarantined=True)
+    row = store.jobs(sweep_id)[0]
+    assert row["status"] == "failed" and row["quarantined"] == 1
+    assert row["error"] == "worker kept dying"
+
+
+# ----------------------------------------------------------------------
+# Schema migration (v1 -> v2)
+# ----------------------------------------------------------------------
+
+_V1_SCHEMA = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE sweeps (
+    sweep_id TEXT PRIMARY KEY, name TEXT NOT NULL,
+    spec_hash TEXT NOT NULL UNIQUE, spec_json TEXT NOT NULL,
+    status TEXT NOT NULL, created_at REAL NOT NULL
+);
+CREATE TABLE jobs (
+    job_id TEXT PRIMARY KEY, sweep_id TEXT NOT NULL,
+    idx INTEGER NOT NULL, workload TEXT NOT NULL,
+    controller TEXT NOT NULL, seed INTEGER NOT NULL,
+    base_seed INTEGER NOT NULL, repeat INTEGER NOT NULL,
+    budget TEXT NOT NULL, budget_bytes INTEGER,
+    faults TEXT NOT NULL DEFAULT '', accesses INTEGER NOT NULL,
+    scale REAL NOT NULL, workload_seed INTEGER NOT NULL,
+    fast_path TEXT NOT NULL, huge_pages INTEGER NOT NULL DEFAULT 0,
+    provider_id TEXT NOT NULL DEFAULT '', status TEXT NOT NULL,
+    error TEXT NOT NULL DEFAULT '', elapsed_s REAL,
+    started_at REAL, finished_at REAL, result_json TEXT
+);
+CREATE TABLE metrics (
+    job_id TEXT NOT NULL, key TEXT NOT NULL, value REAL NOT NULL,
+    PRIMARY KEY (job_id, key)
+);
+"""
+
+
+def test_v1_store_is_migrated_in_place(tmp_path):
+    path = str(tmp_path / "old.db")
+    conn = sqlite3.connect(path)
+    conn.executescript(_V1_SCHEMA)
+    conn.execute("INSERT INTO meta (key, value) VALUES "
+                 "('schema_version', '1')")
+    conn.execute(
+        "INSERT INTO jobs (job_id, sweep_id, idx, workload, controller, "
+        "seed, base_seed, repeat, budget, accesses, scale, "
+        "workload_seed, fast_path, status) VALUES ('j1', 's1', 0, 'mcf', "
+        "'compresso', 1, 1, 0, 'none', 1500, 0.05, 1, 'off', 'done')")
+    conn.commit()
+    conn.close()
+
+    store = SweepStore.open(path)  # migrates on open
+    conn = sqlite3.connect(path)
+    conn.row_factory = sqlite3.Row
+    version = conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+    row = conn.execute("SELECT * FROM jobs").fetchone()
+    conn.close()
+    assert version["value"] == str(STORE_SCHEMA_VERSION)
+    # v1 rows read as never-retried, never-quarantined.
+    assert row["attempts"] == 0 and row["quarantined"] == 0
+    assert row["last_error"] == ""
+    # And the migrated store is fully writable with the new columns.
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    store.mark_job_running(jobs[0].job_id)
+    assert store.jobs(sweep_id)[0]["attempts"] == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrency pragmas
+# ----------------------------------------------------------------------
+
+def test_connections_run_wal_with_busy_timeout(store):
+    with store.engine.connect() as conn:
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 30000
+
+
+def test_reader_proceeds_while_writer_holds_the_lock(store):
+    """`repro sweep ls/show` against a live sweep: WAL readers see the
+    last committed snapshot instead of `database is locked`."""
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    writer = sqlite3.connect(store.path, timeout=30.0)
+    try:
+        writer.execute("BEGIN IMMEDIATE")
+        writer.execute("UPDATE jobs SET status = 'running'")
+        statuses = store.job_statuses(sweep_id)  # must not raise
+        assert set(statuses.values()) == {"pending"}  # pre-write snapshot
+    finally:
+        writer.rollback()
+        writer.close()
+
+
+# ----------------------------------------------------------------------
+# Corruption detection and salvage
+# ----------------------------------------------------------------------
+
+def padded_result(index):
+    """A result whose JSON document spans real space in the file, so a
+    torn tail page provably destroys some rows and not others."""
+    result = fake_result()
+    result.metrics = {f"pad.metric_{index}_{j}": float(index * 1000 + j)
+                      for j in range(200)}
+    return result
+
+
+def torn_store(tmp_path, name="torn.db"):
+    """A store with four recorded jobs whose last page is then torn."""
+    path = str(tmp_path / name)
+    store = SweepStore.open(path)
+    spec = tiny_spec(workloads=("mcf", "omnetpp"))
+    jobs = spec.expand()
+    store.register_sweep(spec, jobs)
+    for index, job in enumerate(jobs):
+        store.mark_job_running(job.job_id)
+        store.finish_job(job.job_id, "done", elapsed_s=0.1,
+                         result=padded_result(index))
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.seek(size - 4096)
+        handle.write(b"\xff" * 4096)
+    return path, jobs
+
+
+def test_torn_store_rejected_with_repair_hint(tmp_path):
+    path, _ = torn_store(tmp_path)
+    with pytest.raises(ConfigError, match="integrity check") as excinfo:
+        SweepStore.open(path)
+    assert "repro sweep repair" in str(excinfo.value)
+
+
+def test_repair_salvages_rows_before_the_tear(tmp_path):
+    path, jobs = torn_store(tmp_path)
+    out = str(tmp_path / "repaired.db")
+    counts = SweepStore.repair(path, out)
+    assert counts["jobs_salvaged"] >= 1  # pre-tear rows survive
+    assert counts["jobs_salvaged"] + counts["jobs_reset"] <= len(jobs)
+    repaired = SweepStore.open(out)  # passes the integrity gate
+    sweep = repaired.find_sweep("t")
+    assert sweep["status"] == "interrupted"
+    statuses = repaired.job_statuses(sweep["sweep_id"])
+    assert set(statuses.values()) <= {"done", "pending"}
+    for job_id, status in statuses.items():
+        if status == "done":
+            assert repaired.result_for(job_id) is not None
+
+
+def test_repair_of_healthy_store_keeps_done_resets_rest(tmp_path, store):
+    spec = tiny_spec()
+    jobs = spec.expand()
+    sweep_id, _ = store.register_sweep(spec, jobs)
+    original = fake_result()
+    store.finish_job(jobs[0].job_id, "done", elapsed_s=0.1,
+                     result=original)
+    store.mark_job_running(jobs[1].job_id)
+    out = str(tmp_path / "copy.db")
+    counts = SweepStore.repair(store.path, out)
+    assert counts == {"sweeps": 1, "jobs_salvaged": 1, "jobs_reset": 1,
+                      "metrics": counts["metrics"]}
+    assert counts["metrics"] == len(original.headline())
+    repaired = SweepStore.open(out)
+    assert repaired.result_for(jobs[0].job_id) == original
+    # The half-run job restarts from scratch.
+    assert repaired.job_statuses(sweep_id)[jobs[1].job_id] == "pending"
+
+
+def test_repair_refuses_bad_paths(tmp_path, store):
+    with pytest.raises(ConfigError, match="no sweep store"):
+        SweepStore.repair(str(tmp_path / "missing.db"),
+                          str(tmp_path / "out.db"))
+    existing = tmp_path / "exists.db"
+    existing.write_text("x")
+    with pytest.raises(ConfigError, match="refusing to overwrite"):
+        SweepStore.repair(store.path, str(existing))

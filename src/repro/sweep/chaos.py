@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -222,3 +222,19 @@ class ChaosSchedule:
         """Whether the worker must corrupt this attempt's result record."""
         count = self.corruptions.get(job_index)
         return count is not None and attempt <= count
+
+    def events_for(self, job_index: int,
+                   attempt: int) -> List[Tuple[str, float]]:
+        """Every worker-side fault this attempt will suffer, as
+        (kind, param) pairs -- the engine journals these parent-side at
+        dispatch time, because the faults themselves fire inside (or
+        kill) the child process.  Store-side ENOSPC faults are journaled
+        at the write site instead (:func:`store_fault` decides those
+        per write attempt, not per dispatch)."""
+        events: List[Tuple[str, float]] = []
+        action = self.worker_action(job_index, attempt)
+        if action is not None:
+            events.append(action)
+        if self.corrupts(job_index, attempt):
+            events.append((CHAOS_CORRUPT_ROW, 0.0))
+        return events

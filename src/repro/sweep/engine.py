@@ -53,6 +53,7 @@ from repro.sim.results import SimResult
 from repro.sweep.chaos import ChaosPlan, ChaosSchedule
 from repro.sweep.spec import JobSpec, SweepSpec
 from repro.sweep.store import SweepStore
+from repro.sweep.telemetry import SweepJournal
 from repro.sweep.worker import WorkerPool, execute_job, result_digest
 
 #: Progress callback signature: (event, job, record_or_None).  Events:
@@ -178,6 +179,7 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosPlan] = None,
     heartbeat_timeout_s: Optional[float] = None,
+    journal: Union[SweepJournal, str, bool, None] = None,
 ) -> SweepRun:
     """Run (or resume) a sweep; see the module docs for the phases.
 
@@ -190,6 +192,14 @@ def run_sweep(
     (pool-only: a chaos worker kill aimed at the inline path would kill
     the orchestrator itself); ``heartbeat_timeout_s`` arms hung-worker
     detection in the pool.
+
+    ``journal`` arms sweep telemetry: ``True`` writes to the store's
+    default journal path (:meth:`SweepStore.journal_path`; requires a
+    store), a string is an explicit path, an open :class:`SweepJournal`
+    is used as-is (and left open for the caller).  ``None`` -- the
+    default -- emits nothing and touches no files; result rows are
+    identical either way (the journal records host scheduling history,
+    never simulated quantities).
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -207,6 +217,9 @@ def run_sweep(
     if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
         raise ConfigError(f"heartbeat timeout must be > 0 s, "
                           f"got {heartbeat_timeout_s}")
+    if journal is True and store is None:
+        raise ConfigError("journal=True derives its path from the store; "
+                          "pass a store or an explicit journal path")
     if retry is None:
         retry = RetryPolicy()
 
@@ -225,6 +238,23 @@ def run_sweep(
     else:
         sweep_id = f"{spec.name}-{spec.spec_hash()[:8]}"
 
+    # Telemetry: resolve the journal argument into an (optional) open
+    # SweepJournal.  Journals we open here we also close; a caller's
+    # journal object stays theirs.
+    owns_journal = False
+    if journal is True:
+        journal = SweepJournal(store.journal_path(sweep_id),
+                               sweep_id=sweep_id)
+        owns_journal = True
+    elif isinstance(journal, str):
+        journal = SweepJournal(journal, sweep_id=sweep_id)
+        owns_journal = True
+    jlog = journal.emit if isinstance(journal, SweepJournal) else None
+    if jlog is not None:
+        jlog("sweep_begin", sweep_id=sweep_id, name=spec.name,
+             spec_hash=spec.spec_hash(), total_jobs=len(jobs),
+             workers=workers, resumed=resumed)
+
     run = SweepRun(sweep_id=sweep_id, spec=spec, jobs=jobs, store=store,
                    resumed=resumed, skipped=0)
     statuses = (store.job_statuses(sweep_id) if store is not None
@@ -242,10 +272,16 @@ def run_sweep(
             run.skipped += 1
             if progress is not None:
                 progress("skip", job, None)
+            if jlog is not None:
+                jlog("job_skip", job_id=job.job_id, index=job.index,
+                     label=job.label(), status="done")
         elif statuses[job.job_id] in ("failed", "timeout"):
             run.skipped += 1
             if progress is not None:
                 progress("skip", job, None)
+            if jlog is not None:
+                jlog("job_skip", job_id=job.job_id, index=job.index,
+                     label=job.label(), status=statuses[job.job_id])
 
     todo = [job for job in jobs
             if statuses[job.job_id] not in ("done", "failed", "timeout")]
@@ -294,6 +330,10 @@ def run_sweep(
                 if (chaos_schedule is not None
                         and chaos_schedule.store_fault(job.index,
                                                        write_attempt)):
+                    if jlog is not None:
+                        jlog("chaos_injected", job_id=job.job_id,
+                             index=job.index, attempt=write_attempt,
+                             chaos_kind="enospc", param=0.0)
                     raise OSError(errno.ENOSPC,
                                   "chaos: sweep store write failed")
                 store.finish_job(
@@ -310,6 +350,9 @@ def run_sweep(
                     raise ResourceError(
                         f"cannot record result for {job.label()!r} after "
                         f"{write_attempt} attempts: {error}") from error
+                if jlog is not None:
+                    jlog("store_retry", job_id=job.job_id,
+                         write_attempt=write_attempt, error=str(error))
                 time.sleep(retry.delay_s(job.job_id, write_attempt))
 
     def record_outcome(job: JobSpec, record: dict,
@@ -332,6 +375,11 @@ def run_sweep(
         store_finish(job, record, quarantined=quarantined)
         if progress is not None:
             progress("finish", job, record)
+        if jlog is not None:
+            jlog("job_finish", job_id=job.job_id, index=job.index,
+                 label=job.label(), attempt=attempts.get(job.job_id, 0),
+                 status=record["status"], quarantined=quarantined,
+                 elapsed_s=record.get("elapsed_s", 0.0))
 
     def verify_record(job: JobSpec, record: dict) -> dict:
         """Digest-check a pool record; corruption becomes a transient
@@ -366,7 +414,15 @@ def run_sweep(
             statuses[job.job_id] = "pending"
             if progress is not None:
                 progress("retry", job, record)
-            return retry.delay_s(job.job_id, attempt)
+            delay = retry.delay_s(job.job_id, attempt)
+            if jlog is not None:
+                jlog("job_retry", job_id=job.job_id, index=job.index,
+                     label=job.label(), attempt=attempt,
+                     error_kind=record.get("error_kind", ""),
+                     error_type=record.get("error_type", ""),
+                     error=record.get("error", ""),
+                     backoff_s=round(delay, 6))
+            return delay
         record_outcome(job, record, quarantined=transient)
         return None
 
@@ -388,23 +444,59 @@ def run_sweep(
         if progress is not None:
             progress("start", job, None)
 
+    def journal_start(job: JobSpec,
+                      worker_slot: Optional[int] = None) -> None:
+        """Journal a dispatched attempt -- after :func:`begin_attempt`
+        (the attempt counter must have ticked) and, on the pool path,
+        after submit (the slot is only known then).  Worker-side chaos
+        faults are journaled here, parent-side, from the deterministic
+        schedule: the faults themselves fire inside (or kill) the
+        child."""
+        if jlog is None:
+            return
+        attempt = attempts.get(job.job_id, 0)
+        jlog("job_start", job_id=job.job_id, index=job.index,
+             label=job.label(), attempt=attempt, worker_slot=worker_slot)
+        if chaos_schedule is not None:
+            for kind, param in chaos_schedule.events_for(job.index,
+                                                         attempt):
+                jlog("chaos_injected", job_id=job.job_id, index=job.index,
+                     attempt=attempt, chaos_kind=kind, param=param)
+
+    def pool_event(kind: str, fields: dict) -> None:
+        if jlog is not None:
+            jlog(kind, **fields)
+
     started = time.perf_counter()
     completed = False
     try:
         if workers == 1:
             _run_inline(todo, statuses, ready, provider_dead, budget_for,
                         handle_outcome, fail_dependent, begin_attempt,
-                        spec, capture_errors, workload_resolver, system,
-                        model)
+                        journal_start, spec, capture_errors,
+                        workload_resolver, system, model)
         else:
             _run_pool(todo, by_id, statuses, ready, provider_dead,
                       budget_for, handle_outcome, fail_dependent,
-                      begin_attempt, verify_record, attempts, spec,
-                      workers, chaos_schedule, heartbeat_timeout_s)
+                      begin_attempt, journal_start, pool_event,
+                      verify_record, attempts, spec, workers,
+                      chaos_schedule, heartbeat_timeout_s)
         completed = True
     finally:
         run.elapsed_s = time.perf_counter() - started
         run.statuses = statuses
+        if jlog is not None:
+            try:
+                jlog("sweep_end",
+                     status=("interrupted" if not completed else
+                             "done" if all(s == "done"
+                                           for s in statuses.values())
+                             else "failed"),
+                     elapsed_s=round(run.elapsed_s, 3), counts=run.counts)
+                if owns_journal:
+                    journal.close()
+            except Exception:
+                pass  # telemetry must never mask the real outcome
         if store is not None:
             # Best-effort: the status row must not mask the original
             # failure when the store itself is what broke.
@@ -423,8 +515,9 @@ def run_sweep(
 
 
 def _run_inline(todo, statuses, ready, provider_dead, budget_for,
-                handle_outcome, fail_dependent, begin_attempt, spec,
-                capture_errors, workload_resolver, system, model) -> None:
+                handle_outcome, fail_dependent, begin_attempt,
+                journal_start, spec, capture_errors, workload_resolver,
+                system, model) -> None:
     """Single-process scheduling: matrix order, providers first;
     retries run in place after their backoff sleep."""
     pending = list(todo)
@@ -442,6 +535,7 @@ def _run_inline(todo, statuses, ready, provider_dead, budget_for,
             budget = budget_for(job)
             while True:
                 begin_attempt(job)
+                journal_start(job)
                 workload = (workload_resolver(job)
                             if workload_resolver is not None else None)
                 record = execute_job(
@@ -463,12 +557,13 @@ def _run_inline(todo, statuses, ready, provider_dead, budget_for,
 
 def _run_pool(todo, by_id, statuses, ready, provider_dead, budget_for,
               handle_outcome, fail_dependent, begin_attempt,
-              verify_record, attempts, spec, workers, chaos_schedule,
-              heartbeat_timeout_s) -> None:
+              journal_start, pool_event, verify_record, attempts, spec,
+              workers, chaos_schedule, heartbeat_timeout_s) -> None:
     """Pool scheduling: keep every worker fed with ready jobs; retries
     rejoin the queue when their backoff expires."""
     pool = WorkerPool(workers, chaos=chaos_schedule,
-                      heartbeat_timeout_s=heartbeat_timeout_s)
+                      heartbeat_timeout_s=heartbeat_timeout_s,
+                      on_event=pool_event)
     try:
         waiting = list(todo)
         retries: List[Tuple[float, JobSpec]] = []
@@ -476,8 +571,9 @@ def _run_pool(todo, by_id, statuses, ready, provider_dead, budget_for,
         def launch(job: JobSpec) -> None:
             budget = budget_for(job)
             begin_attempt(job)
-            pool.submit(job, budget, spec.job_timeout_s,
-                        attempt=attempts[job.job_id])
+            slot = pool.submit(job, budget, spec.job_timeout_s,
+                               attempt=attempts[job.job_id])
+            journal_start(job, slot)
 
         def dispatch_ready() -> None:
             nonlocal waiting

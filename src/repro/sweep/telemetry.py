@@ -1,0 +1,560 @@
+"""Sweep-level telemetry: the event journal and its live snapshot.
+
+PR 4 made one *run* observable (spans, windowed metrics, host
+profiling); this module makes the *sweep harness* observable.  The
+engine appends one JSONL line per scheduling event -- jobs starting,
+finishing, retrying, being quarantined; workers spawning, dying,
+hanging, respawning; store writes being retried; chaos faults being
+injected -- into a :class:`SweepJournal` that lives next to the store,
+so a second process (``repro sweep watch``) can follow a live sweep
+without touching the writer's SQLite connection.
+
+Discipline (same as every observability layer before it): **telemetry
+off is free and invisible**.  ``run_sweep(journal=None)`` -- the
+default -- emits nothing, touches no files, and its result rows are
+``fingerprint_rows``-identical to a journaled sweep (pinned by
+``tests/sweep/test_telemetry.py``).  The journal records *host*
+scheduling history, never simulated quantities, so it sits with the
+retry policy outside the spec hash.
+
+Journal format (:data:`JOURNAL_SCHEMA`): one JSON object per line.
+Every event carries
+
+- ``seq``  -- a monotonic per-journal sequence number (the total order;
+  wall clocks can step backwards, ``seq`` cannot);
+- ``t``    -- wall-clock ``time.time()`` (cross-process readable);
+- ``mono`` -- ``time.monotonic()`` in the writer process (durations and
+  throughput are computed from ``mono`` deltas, which are immune to
+  clock steps but only comparable within one journal);
+- ``event`` -- the kind, one of :data:`EVENT_KINDS`;
+
+plus kind-specific fields (``job_id``, ``index``, ``label``,
+``attempt``, ``worker_slot``, ``error_kind``, ...).  The first line is
+always ``journal_begin`` naming the schema; appending across a resume
+is valid -- a reader treats each ``journal_begin`` as a new segment of
+the same sweep.
+
+Consumers:
+
+- :func:`read_journal` / :func:`validate_journal` -- load and
+  schema-check a journal (CI runs the validator on every chaos sweep).
+- :func:`build_snapshot` -- fold events into a :class:`SweepSnapshot`:
+  status counts, per-worker utilization and current job, a retry
+  histogram by error kind, throughput in jobs/min, and an ETA from the
+  observed completion rate.  :func:`render_snapshot` is the shared
+  terminal rendering (``sweep watch``, ``sweep show``).
+- :func:`journal_spans` -- job-lifecycle spans (one per attempt) plus
+  instants for deaths/hangs/chaos/store retries, as
+  :class:`repro.sim.tracing.Span` objects, so PR 4's
+  :func:`~repro.sim.tracing.write_trace_file` renders a whole sweep as
+  one Perfetto trace (worker slots become Perfetto threads).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.common.errors import ConfigError
+from repro.sim.instrument import JsonlAppender
+
+#: Journal format identity; bump on incompatible line-shape changes.
+JOURNAL_SCHEMA = "repro-sweep-journal/1"
+
+#: Every event kind -> the fields it must carry (beyond seq/t/mono/event).
+EVENT_KINDS: Dict[str, tuple] = {
+    "journal_begin": ("schema", "sweep_id"),
+    "sweep_begin": ("sweep_id", "name", "spec_hash", "total_jobs",
+                    "workers", "resumed"),
+    "sweep_end": ("status", "elapsed_s", "counts"),
+    "job_skip": ("job_id", "index", "label", "status"),
+    "job_start": ("job_id", "index", "label", "attempt", "worker_slot"),
+    "job_retry": ("job_id", "index", "label", "attempt", "error_kind",
+                  "error_type", "error", "backoff_s"),
+    "job_finish": ("job_id", "index", "label", "attempt", "status",
+                   "quarantined", "elapsed_s"),
+    "worker_spawn": ("worker_slot",),
+    "worker_respawn": ("worker_slot",),
+    "worker_death": ("worker_slot", "job_id", "exitcode"),
+    "worker_hung": ("worker_slot", "job_id", "stale_s"),
+    "store_retry": ("job_id", "write_attempt", "error"),
+    "chaos_injected": ("job_id", "index", "attempt", "chaos_kind", "param"),
+}
+
+#: Job statuses a snapshot counts as finished work.
+_TERMINAL = ("done", "failed", "timeout")
+
+
+class SweepJournal:
+    """The append-only JSONL event sink the sweep engine writes.
+
+    One flushed line per event, so a concurrent reader never sees a
+    torn record and a crashed sweep loses at most the line being
+    written.  Opening appends -- a resumed sweep extends the same file
+    with a fresh ``journal_begin`` segment header.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 sweep_id: str = "") -> None:
+        self.path = str(path)
+        self._seq = 0
+        try:
+            self._appender = JsonlAppender(self.path)
+        except OSError as error:
+            raise ConfigError(
+                f"cannot open sweep journal {self.path!r}: {error}"
+            ) from error
+        self.emit("journal_begin", schema=JOURNAL_SCHEMA, sweep_id=sweep_id)
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event line (no-op after :meth:`close`)."""
+        if self._appender is None:
+            return
+        record: Dict[str, object] = {
+            "seq": self._seq,
+            "t": time.time(),
+            "mono": time.monotonic(),
+            "event": event,
+        }
+        record.update(fields)
+        self._appender.append(record)
+        self._seq += 1
+
+    def close(self) -> None:
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+
+
+# ----------------------------------------------------------------------
+# Reading / validation
+# ----------------------------------------------------------------------
+
+
+def read_journal(path: Union[str, Path]) -> List[dict]:
+    """Load a journal's events, in file order.
+
+    A trailing half-written line (the writer died mid-append) is
+    dropped, not fatal -- everything before it is still good.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ConfigError(
+            f"cannot read sweep journal {str(path)!r}: {error}") from error
+    events: List[dict] = []
+    lines = text.splitlines()
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if position == len(lines) - 1:
+                break  # torn final line: the writer died mid-append
+            raise ConfigError(
+                f"{str(path)!r} line {position + 1} is not JSON: "
+                f"{error}") from error
+        if not isinstance(record, dict):
+            raise ConfigError(
+                f"{str(path)!r} line {position + 1} is not an event object")
+        events.append(record)
+    return events
+
+
+def validate_journal(
+        events_or_path: Union[str, Path, Sequence[Mapping]]) -> List[str]:
+    """Schema-check a journal; returns problems (empty means valid).
+
+    Checks: the file starts with a ``journal_begin`` naming a known
+    schema, every event kind is known and carries its required fields,
+    and ``seq`` increases within each segment.
+    """
+    if isinstance(events_or_path, (str, Path)):
+        events = read_journal(events_or_path)
+    else:
+        events = list(events_or_path)
+    problems: List[str] = []
+    if not events:
+        return ["journal is empty"]
+    first = events[0]
+    if first.get("event") != "journal_begin":
+        problems.append(
+            f"first event is {first.get('event')!r}, not journal_begin")
+    elif first.get("schema") != JOURNAL_SCHEMA:
+        problems.append(
+            f"unknown journal schema {first.get('schema')!r}; "
+            f"this build reads {JOURNAL_SCHEMA}")
+    last_seq: Optional[int] = None
+    for position, event in enumerate(events):
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            problems.append(f"line {position + 1}: unknown event {kind!r}")
+            continue
+        for key in ("seq", "t", "mono"):
+            if key not in event:
+                problems.append(
+                    f"line {position + 1}: {kind} missing {key!r}")
+        for key in EVENT_KINDS[kind]:
+            if key not in event:
+                problems.append(
+                    f"line {position + 1}: {kind} missing {key!r}")
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            if kind == "journal_begin":
+                last_seq = seq  # a resume appends a fresh segment
+            elif last_seq is not None and seq <= last_seq:
+                problems.append(
+                    f"line {position + 1}: seq {seq} does not advance "
+                    f"past {last_seq}")
+            else:
+                last_seq = seq
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The live snapshot
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WorkerState:
+    """One pool slot's aggregated history."""
+
+    slot: int
+    current_label: Optional[str] = None
+    current_since_mono: Optional[float] = None
+    jobs_done: int = 0
+    busy_s: float = 0.0
+    deaths: int = 0
+    hangs: int = 0
+    #: Matrix indexes this slot ran, in dispatch order.
+    job_indexes: List[int] = field(default_factory=list)
+
+
+@dataclass
+class SweepSnapshot:
+    """Everything ``sweep watch`` renders, folded from journal events."""
+
+    sweep_id: str = ""
+    name: str = ""
+    total_jobs: int = 0
+    workers: int = 1
+    #: status -> count over the whole matrix (skips count as recorded).
+    counts: Dict[str, int] = field(default_factory=dict)
+    quarantined: int = 0
+    running: List[str] = field(default_factory=list)
+    workers_state: Dict[int, WorkerState] = field(default_factory=dict)
+    #: error_kind -> retry count.
+    retries_by_kind: Dict[str, int] = field(default_factory=dict)
+    store_retries: int = 0
+    chaos_injected: int = 0
+    #: Jobs finished *this run* (skips excluded: they cost no time).
+    finished_this_run: int = 0
+    elapsed_s: float = 0.0
+    throughput_jpm: Optional[float] = None
+    eta_s: Optional[float] = None
+    ended: bool = False
+    end_status: str = ""
+
+    @property
+    def recorded(self) -> int:
+        """Matrix cells with a terminal status."""
+        return sum(self.counts.get(status, 0) for status in _TERMINAL)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total_jobs - self.recorded)
+
+
+def build_snapshot(events: Sequence[Mapping],
+                   now_mono: Optional[float] = None) -> SweepSnapshot:
+    """Fold journal events into a :class:`SweepSnapshot`.
+
+    ``now_mono`` extends the observation window past the last event for
+    a *live* reading in the writer's own process; cross-process readers
+    leave it None (another process's monotonic clock is not comparable)
+    and the window ends at the last event seen.
+    """
+    snap = SweepSnapshot()
+    statuses: Dict[str, str] = {}
+    job_started: Dict[str, float] = {}
+    job_slot: Dict[str, Optional[int]] = {}
+    begin_mono: Optional[float] = None
+    last_mono: Optional[float] = None
+
+    def worker(slot: int) -> WorkerState:
+        state = snap.workers_state.get(slot)
+        if state is None:
+            state = snap.workers_state[slot] = WorkerState(slot=slot)
+        return state
+
+    def settle(job_id: str, mono: float) -> None:
+        """Credit a finished/retried attempt to its worker slot."""
+        slot = job_slot.pop(job_id, None)
+        started = job_started.pop(job_id, None)
+        if slot is None:
+            return
+        state = worker(slot)
+        if state.current_since_mono is not None and started is not None:
+            state.busy_s += max(0.0, mono - started)
+        state.current_label = None
+        state.current_since_mono = None
+
+    for event in events:
+        kind = event.get("event")
+        mono = event.get("mono")
+        if isinstance(mono, (int, float)):
+            last_mono = float(mono)
+        if kind == "sweep_begin":
+            snap.sweep_id = str(event.get("sweep_id", ""))
+            snap.name = str(event.get("name", ""))
+            snap.total_jobs = int(event.get("total_jobs", 0) or 0)
+            snap.workers = int(event.get("workers", 1) or 1)
+            if begin_mono is None and isinstance(mono, (int, float)):
+                begin_mono = float(mono)
+        elif kind == "job_skip":
+            statuses[str(event.get("job_id"))] = str(
+                event.get("status", "done"))
+        elif kind == "job_start":
+            job_id = str(event.get("job_id"))
+            statuses[job_id] = "running"
+            slot = event.get("worker_slot")
+            job_slot[job_id] = slot if isinstance(slot, int) else None
+            if isinstance(mono, (int, float)):
+                job_started[job_id] = float(mono)
+            if isinstance(slot, int):
+                state = worker(slot)
+                state.current_label = str(event.get("label", ""))
+                state.current_since_mono = (
+                    float(mono) if isinstance(mono, (int, float)) else None)
+                index = event.get("index")
+                if isinstance(index, int):
+                    state.job_indexes.append(index)
+        elif kind == "job_retry":
+            job_id = str(event.get("job_id"))
+            statuses[job_id] = "pending"
+            error_kind = str(event.get("error_kind") or "unknown")
+            snap.retries_by_kind[error_kind] = (
+                snap.retries_by_kind.get(error_kind, 0) + 1)
+            if isinstance(mono, (int, float)):
+                settle(job_id, float(mono))
+        elif kind == "job_finish":
+            job_id = str(event.get("job_id"))
+            statuses[job_id] = str(event.get("status", "done"))
+            snap.finished_this_run += 1
+            if event.get("quarantined"):
+                snap.quarantined += 1
+            if isinstance(mono, (int, float)):
+                settle(job_id, float(mono))
+        elif kind == "worker_spawn" or kind == "worker_respawn":
+            slot = event.get("worker_slot")
+            if isinstance(slot, int):
+                worker(slot)
+        elif kind == "worker_death":
+            slot = event.get("worker_slot")
+            if isinstance(slot, int):
+                worker(slot).deaths += 1
+            if isinstance(mono, (int, float)):
+                settle(str(event.get("job_id")), float(mono))
+        elif kind == "worker_hung":
+            slot = event.get("worker_slot")
+            if isinstance(slot, int):
+                worker(slot).hangs += 1
+            if isinstance(mono, (int, float)):
+                settle(str(event.get("job_id")), float(mono))
+        elif kind == "store_retry":
+            snap.store_retries += 1
+        elif kind == "chaos_injected":
+            snap.chaos_injected += 1
+        elif kind == "sweep_end":
+            snap.ended = True
+            snap.end_status = str(event.get("status", ""))
+
+    # jobs_done per slot: completions credited to the slot that ran them.
+    done_by_slot: Dict[int, int] = {}
+    open_slot: Dict[str, int] = {}
+    for event in events:
+        kind = event.get("event")
+        if kind == "job_start":
+            slot = event.get("worker_slot")
+            if isinstance(slot, int):
+                open_slot[str(event.get("job_id"))] = slot
+        elif kind == "job_finish":
+            slot = open_slot.pop(str(event.get("job_id")), None)
+            if slot is not None:
+                done_by_slot[slot] = done_by_slot.get(slot, 0) + 1
+    for slot, count in done_by_slot.items():
+        worker(slot).jobs_done = count
+
+    for status in statuses.values():
+        snap.counts[status] = snap.counts.get(status, 0) + 1
+    snap.running = sorted(
+        state.current_label for state in snap.workers_state.values()
+        if state.current_label)
+    if not snap.workers_state:  # inline sweeps have no slots
+        snap.running = sorted(
+            job_id for job_id, status in statuses.items()
+            if status == "running")
+
+    end_mono = now_mono if now_mono is not None else last_mono
+    if begin_mono is not None and end_mono is not None:
+        snap.elapsed_s = max(0.0, end_mono - begin_mono)
+    if snap.elapsed_s > 0 and snap.finished_this_run > 0:
+        rate = snap.finished_this_run / snap.elapsed_s
+        snap.throughput_jpm = rate * 60.0
+        if not snap.ended:
+            snap.eta_s = snap.remaining / rate
+        else:
+            snap.eta_s = 0.0
+    return snap
+
+
+def render_snapshot(snap: SweepSnapshot,
+                    store_path: Optional[str] = None) -> str:
+    """The terminal status frame ``sweep watch`` re-renders."""
+    lines: List[str] = []
+    title = snap.sweep_id or snap.name or "sweep"
+    state = snap.end_status if snap.ended else "running"
+    lines.append(f"sweep {title}: {state}, "
+                 f"{snap.recorded}/{snap.total_jobs} recorded"
+                 + (f", store {store_path}" if store_path else ""))
+    counts = ", ".join(
+        f"{snap.counts[key]} {key}" for key in
+        ("done", "failed", "timeout", "running", "pending")
+        if snap.counts.get(key))
+    quarantine = (f" ({snap.quarantined} quarantined)"
+                  if snap.quarantined else "")
+    lines.append(f"  jobs: {counts or 'none yet'}{quarantine}")
+    throughput = ("n/a" if snap.throughput_jpm is None
+                  else f"{snap.throughput_jpm:.1f} jobs/min")
+    eta = "n/a" if snap.eta_s is None else f"{snap.eta_s:.0f}s"
+    lines.append(f"  throughput: {throughput}   ETA: {eta}   "
+                 f"elapsed: {snap.elapsed_s:.1f}s")
+    if snap.retries_by_kind:
+        histogram = ", ".join(
+            f"{kind}={count}" for kind, count in
+            sorted(snap.retries_by_kind.items()))
+        lines.append(f"  retries: {histogram}"
+                     + (f"   store retries: {snap.store_retries}"
+                        if snap.store_retries else "")
+                     + (f"   chaos: {snap.chaos_injected}"
+                        if snap.chaos_injected else ""))
+    elif snap.store_retries or snap.chaos_injected:
+        lines.append(f"  store retries: {snap.store_retries}   "
+                     f"chaos: {snap.chaos_injected}")
+    for slot in sorted(snap.workers_state):
+        state = snap.workers_state[slot]
+        util = (state.busy_s / snap.elapsed_s
+                if snap.elapsed_s > 0 else 0.0)
+        current = state.current_label or "idle"
+        flags = ""
+        if state.deaths:
+            flags += f" deaths={state.deaths}"
+        if state.hangs:
+            flags += f" hangs={state.hangs}"
+        lines.append(f"  worker {slot}: {current:<28s} "
+                     f"{state.jobs_done:>3d} done  "
+                     f"util {util:5.1%}{flags}")
+    if snap.running and not snap.workers_state:
+        lines.append(f"  running: {', '.join(snap.running)}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Perfetto conversion (reuses PR 4's span machinery)
+# ----------------------------------------------------------------------
+
+
+def journal_spans(events: Sequence[Mapping]) -> List["Span"]:
+    """Job-lifecycle spans from a journal, Perfetto-ready.
+
+    One duration span per (job, attempt) from its ``job_start`` to the
+    matching ``job_finish``/``job_retry``; instants for worker deaths,
+    hangs, chaos injections, and store-write retries.  Timestamps are
+    nanoseconds relative to the journal's first event, and each span's
+    ``worker_slot`` arg becomes a Perfetto thread row (see
+    :func:`repro.sim.tracing.perfetto_document`).
+    """
+    from repro.sim.tracing import Span
+
+    spans: List[Span] = []
+    t0: Optional[float] = None
+    open_attempts: Dict[str, dict] = {}
+    next_span_id = 1
+
+    def ns(mono: object) -> float:
+        nonlocal t0
+        value = float(mono) if isinstance(mono, (int, float)) else 0.0
+        if t0 is None:
+            t0 = value
+        return (value - t0) * 1e9
+
+    def slot_args(event: Mapping) -> Dict[str, object]:
+        slot = event.get("worker_slot")
+        return {"worker_slot": slot} if isinstance(slot, int) else {}
+
+    for event in events:
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            continue
+        start_ns = ns(event.get("mono"))
+        if kind == "job_start":
+            open_attempts[str(event.get("job_id"))] = {
+                "start_ns": start_ns, "event": event}
+        elif kind in ("job_finish", "job_retry"):
+            opened = open_attempts.pop(str(event.get("job_id")), None)
+            if opened is None:
+                continue
+            begun = opened["event"]
+            status = (str(event.get("status", "done"))
+                      if kind == "job_finish" else "retry")
+            args: Dict[str, object] = {
+                "job_id": event.get("job_id"),
+                "attempt": begun.get("attempt"),
+                "status": status,
+            }
+            if event.get("quarantined"):
+                args["quarantined"] = True
+            if kind == "job_retry" and event.get("error_kind"):
+                args["error_kind"] = event.get("error_kind")
+            args.update(slot_args(begun))
+            index = begun.get("index")
+            spans.append(Span(
+                trace_id=index if isinstance(index, int) else 0,
+                span_id=next_span_id,
+                parent_id=None,
+                name=str(begun.get("label", "job")),
+                category="job",
+                start_ns=opened["start_ns"],
+                duration_ns=max(0.0, start_ns - opened["start_ns"]),
+                args=args,
+            ))
+            next_span_id += 1
+        elif kind in ("worker_death", "worker_hung", "chaos_injected",
+                      "store_retry"):
+            args = {"job_id": event.get("job_id")}
+            if kind == "chaos_injected":
+                args["chaos_kind"] = event.get("chaos_kind")
+            if kind == "worker_hung":
+                args["stale_s"] = event.get("stale_s")
+            if kind == "store_retry":
+                args["write_attempt"] = event.get("write_attempt")
+            args.update(slot_args(event))
+            spans.append(Span(
+                trace_id=0,
+                span_id=next_span_id,
+                parent_id=None,
+                name=kind,
+                category="fault",
+                start_ns=start_ns,
+                duration_ns=0.0,
+                args=args,
+            ))
+            next_span_id += 1
+    return spans

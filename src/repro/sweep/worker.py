@@ -300,7 +300,9 @@ class WorkerPool:
 
     def __init__(self, workers: int,
                  chaos: Optional[ChaosSchedule] = None,
-                 heartbeat_timeout_s: Optional[float] = None) -> None:
+                 heartbeat_timeout_s: Optional[float] = None,
+                 on_event: Optional[Callable[[str, dict], None]] = None,
+                 ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
@@ -313,6 +315,11 @@ class WorkerPool:
         self._heartbeats = self._ctx.Array("d", workers, lock=False)
         self._chaos = chaos
         self._heartbeat_timeout_s = heartbeat_timeout_s
+        #: Supervision telemetry hook: called as ``on_event(kind,
+        #: fields)`` for worker_spawn/worker_death/worker_hung/
+        #: worker_respawn.  Must never raise into the dispatcher; the
+        #: pool wraps it accordingly.
+        self._on_event = on_event
         self._respawns = 0
         self._max_respawns = 32 + 4 * workers
         self._handles: List[_WorkerHandle] = [
@@ -320,6 +327,16 @@ class WorkerPool:
                           chaos)
             for slot in range(workers)
         ]
+        for slot in range(workers):
+            self._emit("worker_spawn", worker_slot=slot)
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        if self._on_event is None:
+            return
+        try:
+            self._on_event(kind, fields)
+        except Exception:
+            pass  # telemetry must never take down supervision
 
     @property
     def inflight(self) -> int:
@@ -330,7 +347,9 @@ class WorkerPool:
         return any(not handle.busy for handle in self._handles)
 
     def submit(self, job: JobSpec, budget_bytes: Optional[int],
-               timeout_s: Optional[float], attempt: int = 1) -> None:
+               timeout_s: Optional[float], attempt: int = 1) -> int:
+        """Dispatch a job to an idle worker; returns the slot it landed
+        on (the engine journals dispatch with it)."""
         handle = self._idle_handle()
         if handle is None:
             raise RuntimeError("no idle worker to submit to")
@@ -338,6 +357,7 @@ class WorkerPool:
         self._heartbeats[handle.slot] = now
         handle.current = (job, budget_bytes, attempt, now)
         handle.tasks.put((job, budget_bytes, timeout_s, attempt))
+        return handle.slot
 
     def _idle_handle(self) -> Optional[_WorkerHandle]:
         for handle in self._handles:
@@ -364,6 +384,7 @@ class WorkerPool:
         self._handles[handle.slot] = _WorkerHandle(
             self._ctx, handle.slot, self._results, self._heartbeats,
             self._chaos)
+        self._emit("worker_respawn", worker_slot=handle.slot)
 
     def _failure_record(self, handle: _WorkerHandle, error: str,
                         error_type: str) -> dict:
@@ -395,6 +416,8 @@ class WorkerPool:
                     handle,
                     f"sweep worker died mid-job (exit code {exitcode})",
                     "WorkerDied")
+                self._emit("worker_death", worker_slot=handle.slot,
+                           job_id=record["job_id"], exitcode=exitcode)
                 handle.proc.join(timeout=1.0)
                 handle.current = None
                 self._replace(handle)
@@ -406,6 +429,9 @@ class WorkerPool:
                         handle,
                         f"sweep worker hung (no heartbeat for "
                         f"{stale_s:.1f} s)", "WorkerHung")
+                    self._emit("worker_hung", worker_slot=handle.slot,
+                               job_id=record["job_id"],
+                               stale_s=round(stale_s, 3))
                     handle.current = None
                     self._replace(handle)
                     return record

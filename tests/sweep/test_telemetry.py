@@ -1,0 +1,424 @@
+"""Sweep telemetry: the event journal, the live snapshot, Perfetto
+conversion, and the zero-impact-when-off discipline.
+
+The two goldens this file pins:
+
+- a journaled sweep's result rows are ``fingerprint_rows``-identical to
+  an unjournaled one (telemetry records host scheduling history, never
+  simulated quantities);
+- a chaos sweep's journal contains exactly the faults its pinned plan
+  injected, and validates against the journal schema.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sweep.chaos import ChaosPlan
+from repro.sweep.engine import RetryPolicy, run_sweep
+from repro.sweep.spec import SweepSpec
+from repro.sweep.telemetry import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    build_snapshot,
+    journal_spans,
+    read_journal,
+    render_snapshot,
+    validate_journal,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="t",
+        workloads=("mcf",),
+        controllers=("compresso", "tmcc@iso"),
+        accesses=1_500,
+        scale=0.05,
+    )
+    base.update(overrides)
+    return SweepSpec.build(**base)
+
+
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_s=0.01, backoff_cap_s=0.05)
+
+
+# ----------------------------------------------------------------------
+# Journal primitives
+# ----------------------------------------------------------------------
+
+def test_journal_writes_begin_then_events(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = SweepJournal(path, sweep_id="s1")
+    journal.emit("worker_spawn", worker_slot=0)
+    journal.close()
+    journal.emit("worker_spawn", worker_slot=1)  # no-op after close
+
+    events = read_journal(path)
+    assert [event["event"] for event in events] == [
+        "journal_begin", "worker_spawn"]
+    assert events[0]["schema"] == JOURNAL_SCHEMA
+    assert events[0]["sweep_id"] == "s1"
+    assert [event["seq"] for event in events] == [0, 1]
+    for event in events:
+        assert "t" in event and "mono" in event
+
+
+def test_read_journal_drops_torn_final_line(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = SweepJournal(path, sweep_id="s1")
+    journal.emit("worker_spawn", worker_slot=0)
+    journal.close()
+    with open(path, "a") as handle:
+        handle.write('{"seq": 2, "t": 1.0, "mono":')  # writer died here
+    assert len(read_journal(path)) == 2
+
+
+def test_read_journal_rejects_mid_file_garbage(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('not json\n{"seq": 0}\n')
+    with pytest.raises(ConfigError, match="not JSON"):
+        read_journal(path)
+
+
+def test_validate_journal_catches_schema_problems(tmp_path):
+    assert validate_journal([]) == ["journal is empty"]
+    problems = validate_journal([
+        {"seq": 0, "t": 1.0, "mono": 1.0, "event": "worker_spawn",
+         "worker_slot": 0},                       # missing journal_begin
+        {"seq": 0, "t": 1.0, "mono": 1.0, "event": "nonsense"},
+        {"seq": 5, "t": 1.0, "event": "store_retry", "job_id": "j",
+         "write_attempt": 1},                     # missing mono + error
+        {"seq": 5, "t": 1.0, "mono": 1.0, "event": "worker_spawn",
+         "worker_slot": 1},                       # seq does not advance
+    ])
+    text = "\n".join(problems)
+    assert "not journal_begin" in text
+    assert "unknown event 'nonsense'" in text
+    assert "missing 'mono'" in text and "missing 'error'" in text
+    assert "does not advance" in text
+
+
+def test_validate_journal_accepts_resume_segments(tmp_path):
+    path = tmp_path / "j.jsonl"
+    first = SweepJournal(path, sweep_id="s1")
+    first.emit("worker_spawn", worker_slot=0)
+    first.close()
+    second = SweepJournal(path, sweep_id="s1")  # append = resume segment
+    second.emit("worker_spawn", worker_slot=0)
+    second.close()
+    assert validate_journal(path) == []
+
+
+# ----------------------------------------------------------------------
+# The zero-impact golden: journal on == journal off
+# ----------------------------------------------------------------------
+
+def test_journaled_sweep_rows_identical_to_unjournaled(tmp_path):
+    plain = run_sweep(tiny_spec(), store=str(tmp_path / "off.db"))
+    journaled = run_sweep(tiny_spec(), store=str(tmp_path / "on.db"),
+                          journal=True)
+    assert journaled.store.fingerprint_rows(journaled.sweep_id) == \
+        plain.store.fingerprint_rows(plain.sweep_id)
+
+    off_journal = journaled.store.journal_path(journaled.sweep_id)
+    assert validate_journal(off_journal) == []
+    assert not any((tmp_path / "off.db").parent.glob("off.db.*.journal*"))
+
+
+def test_inline_journal_records_the_lifecycle(tmp_path):
+    run = run_sweep(tiny_spec(), store=str(tmp_path / "s.db"), journal=True)
+    events = read_journal(run.store.journal_path(run.sweep_id))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "journal_begin" and kinds[1] == "sweep_begin"
+    assert kinds[-1] == "sweep_end"
+    assert kinds.count("job_start") == 2 and kinds.count("job_finish") == 2
+    end = events[-1]
+    assert end["status"] == "done" and end["counts"] == {"done": 2}
+
+    # A resume only skips; the new segment says so.
+    again = run_sweep(tiny_spec(), store=str(tmp_path / "s.db"),
+                      journal=True)
+    events = read_journal(again.store.journal_path(again.sweep_id))
+    kinds = [event["event"] for event in events]
+    assert kinds.count("journal_begin") == 2
+    assert kinds.count("job_skip") == 2
+    assert validate_journal(events) == []
+
+
+def test_journal_true_requires_a_store():
+    with pytest.raises(ConfigError,
+                       match="journal=True derives its path from the store"):
+        run_sweep(tiny_spec(), journal=True)
+
+
+# ----------------------------------------------------------------------
+# The chaos golden: the journal contains exactly the injected faults
+# ----------------------------------------------------------------------
+
+def test_chaos_journal_contains_exactly_the_injected_events(tmp_path):
+    spec = tiny_spec(workloads=("mcf", "omnetpp"))  # 4 jobs
+    plan = ChaosPlan.parse("worker_kill:1@0,enospc:1@1")
+    run = run_sweep(spec, store=str(tmp_path / "s.db"), workers=2,
+                    chaos=plan, retry=FAST_RETRY, journal=True)
+    assert run.ok and not run.quarantined
+
+    events = read_journal(run.store.journal_path(run.sweep_id))
+    assert validate_journal(events) == []
+    injected = [(event["chaos_kind"], event["index"], event["attempt"])
+                for event in events if event["event"] == "chaos_injected"]
+    assert injected == [("worker_kill", 0, 1), ("enospc", 1, 1)]
+
+    kinds = [event["event"] for event in events]
+    assert kinds.count("worker_death") == 1
+    assert kinds.count("worker_respawn") == 1
+    assert kinds.count("store_retry") == 1
+    assert kinds.count("job_retry") == 1
+    assert kinds.count("job_finish") == 4
+    retry = next(e for e in events if e["event"] == "job_retry")
+    assert retry["index"] == 0 and retry["error_kind"] == "resource"
+    death = next(e for e in events if e["event"] == "worker_death")
+    assert death["exitcode"] == -9
+
+
+# ----------------------------------------------------------------------
+# Snapshot math (synthetic journals: fast and exact)
+# ----------------------------------------------------------------------
+
+def synthetic_events():
+    """Two workers, three jobs: one done per slot, one still running,
+    one retry, one chaos injection, 60s elapsed."""
+    def event(seq, mono, kind, **fields):
+        return {"seq": seq, "t": 100.0 + mono, "mono": mono,
+                "event": kind, **fields}
+
+    return [
+        event(0, 0.0, "journal_begin", schema=JOURNAL_SCHEMA, sweep_id="s"),
+        event(1, 0.0, "sweep_begin", sweep_id="s", name="t", spec_hash="h",
+              total_jobs=4, workers=2, resumed=False),
+        event(2, 0.0, "worker_spawn", worker_slot=0),
+        event(3, 0.0, "worker_spawn", worker_slot=1),
+        event(4, 0.0, "job_start", job_id="a", index=0, label="a",
+              attempt=1, worker_slot=0),
+        event(5, 0.0, "job_start", job_id="b", index=1, label="b",
+              attempt=1, worker_slot=1),
+        event(6, 10.0, "chaos_injected", job_id="a", index=0, attempt=1,
+              chaos_kind="worker_kill", param=30.0),
+        event(7, 10.0, "worker_death", worker_slot=0, job_id="a",
+              exitcode=-9),
+        event(8, 10.0, "worker_respawn", worker_slot=0),
+        event(9, 10.0, "job_retry", job_id="a", index=0, label="a",
+              attempt=1, error_kind="resource", error_type="WorkerDied",
+              error="died", backoff_s=0.01),
+        event(10, 12.0, "job_start", job_id="a", index=0, label="a",
+              attempt=2, worker_slot=0),
+        event(11, 30.0, "job_finish", job_id="a", index=0, label="a",
+              attempt=2, status="done", quarantined=False, elapsed_s=18.0),
+        event(12, 40.0, "job_finish", job_id="b", index=1, label="b",
+              attempt=1, status="done", quarantined=False, elapsed_s=40.0),
+        event(13, 41.0, "job_start", job_id="c", index=2, label="c",
+              attempt=1, worker_slot=1),
+        event(14, 60.0, "store_retry", job_id="c", write_attempt=1,
+              error="enospc"),
+    ]
+
+
+def test_snapshot_folds_counts_workers_and_rates():
+    snap = build_snapshot(synthetic_events())
+    assert snap.total_jobs == 4 and snap.workers == 2
+    assert snap.counts == {"done": 2, "running": 1}
+    assert snap.recorded == 2 and snap.remaining == 2
+    assert snap.retries_by_kind == {"resource": 1}
+    assert snap.store_retries == 1 and snap.chaos_injected == 1
+    assert not snap.ended
+    assert snap.elapsed_s == pytest.approx(60.0)
+    # 2 finished in 60s -> 2/min; 2 remaining -> 60s ETA.
+    assert snap.throughput_jpm == pytest.approx(2.0)
+    assert snap.eta_s == pytest.approx(60.0)
+
+    worker0 = snap.workers_state[0]
+    assert worker0.deaths == 1 and worker0.jobs_done == 1
+    # attempt 1 (0..10) + attempt 2 (12..30).
+    assert worker0.busy_s == pytest.approx(28.0)
+    worker1 = snap.workers_state[1]
+    assert worker1.jobs_done == 1
+    assert worker1.current_label == "c"
+    assert worker1.job_indexes == [1, 2]
+
+    text = render_snapshot(snap, store_path="s.db")
+    assert "2/4 recorded" in text
+    assert "throughput: 2.0 jobs/min" in text and "ETA: 60s" in text
+    assert "retries: resource=1" in text
+    assert "worker 1: c" in text
+
+
+def test_snapshot_of_ended_sweep_has_zero_eta():
+    events = synthetic_events()
+    events.append({"seq": 15, "t": 170.0, "mono": 70.0,
+                   "event": "sweep_end", "status": "done",
+                   "elapsed_s": 70.0, "counts": {"done": 4}})
+    snap = build_snapshot(events)
+    assert snap.ended and snap.end_status == "done"
+    assert snap.eta_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# Perfetto conversion
+# ----------------------------------------------------------------------
+
+def test_journal_spans_become_a_valid_perfetto_trace(tmp_path):
+    from repro.sim.tracing import perfetto_document
+
+    spans = journal_spans(synthetic_events())
+    jobs = [span for span in spans if span.category == "job"]
+    faults = [span for span in spans if span.category == "fault"]
+    assert [span.name for span in jobs] == ["a", "a", "b"]
+    assert jobs[0].duration_ns == pytest.approx(10.0 * 1e9)  # to retry
+    assert jobs[1].duration_ns == pytest.approx(18.0 * 1e9)
+    assert jobs[0].args["status"] == "retry"
+    assert jobs[1].args["attempt"] == 2
+    assert [span.name for span in faults] == [
+        "chaos_injected", "worker_death", "store_retry"]
+
+    document = perfetto_document(spans)
+    trace_events = document["traceEvents"]
+    assert {entry["ph"] for entry in trace_events} <= {"X", "i", "M"}
+    # Worker slots become Perfetto thread rows.
+    assert {entry["tid"] for entry in trace_events
+            if entry["ph"] == "X"} == {1, 2}
+    json.dumps(document)  # must be serializable as-is
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+
+def run_cli_sweep(tmp_path, capsys):
+    from repro.cli import main
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(dict(
+        name="telcli", workloads=["mcf"],
+        controllers=["compresso", "tmcc@iso"],
+        accesses=1_500, scale=0.05)))
+    store = str(tmp_path / "s.db")
+    assert main(["sweep", "run", str(spec), "--store", store]) == 0
+    capsys.readouterr()
+    return store
+
+
+def test_cli_show_prints_throughput_eta_and_watch_pointer(
+        tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    assert main(["sweep", "show", "telcli", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "throughput:" in out and "jobs/min" in out
+    assert "ETA: -" in out
+    assert "repro sweep watch" in out
+
+
+def test_cli_show_without_journal_says_na(tmp_path, capsys):
+    from repro.cli import main
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(dict(
+        name="telcli", workloads=["mcf"], controllers=["compresso"],
+        accesses=1_500, scale=0.05)))
+    store = str(tmp_path / "s.db")
+    assert main(["sweep", "run", str(spec), "--store", store,
+                 "--no-journal"]) == 0
+    assert not list(tmp_path.glob("*.journal.jsonl"))
+    capsys.readouterr()
+    assert main(["sweep", "show", "telcli", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "throughput: n/a   ETA: n/a   (no journal)" in out
+
+
+def test_cli_watch_once_renders_a_frame(tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    assert main(["sweep", "watch", "telcli", "--store", store,
+                 "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 recorded" in out and "throughput:" in out
+
+
+def test_cli_events_filters_and_tails(tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    assert main(["sweep", "events", "telcli", "--store", store,
+                 "--kind", "job_finish", "--json"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["event"] == "job_finish"
+               for line in lines)
+
+    assert main(["sweep", "events", "telcli", "--store", store,
+                 "--job", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "index=0" in out and "index=1" not in out
+
+    assert main(["sweep", "events", "telcli", "--store", store,
+                 "--tail", "1", "--json"]) == 0
+    (line,) = capsys.readouterr().out.splitlines()
+    assert json.loads(line)["event"] == "sweep_end"
+
+    assert main(["sweep", "events", "telcli", "--store", store,
+                 "--kind", "nonsense"]) == 2
+    assert "unknown event kind" in capsys.readouterr().err
+
+
+def test_cli_events_perfetto_export(tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    out_path = tmp_path / "trace.json"
+    assert main(["sweep", "events", "telcli", "--store", store,
+                 "--perfetto", str(out_path)]) == 0
+    document = json.loads(out_path.read_text())
+    names = {entry["name"] for entry in document["traceEvents"]
+             if entry["ph"] == "X"}
+    assert any(name.startswith("mcf/compresso") for name in names)
+    assert any(name.startswith("mcf/tmcc@iso") for name in names)
+
+
+def test_cli_export_failures_mode(tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    assert main(["sweep", "export", "telcli", "--store", store,
+                 "--failures"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro-sweep-failures/1"
+    assert document["failures"] == []  # clean sweep
+
+    assert main(["sweep", "export", "telcli", "--store", store,
+                 "--failures", "--format", "csv"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("idx,job_id,workload,")
+
+
+def test_cli_sweep_report_renders_sections(tmp_path, capsys):
+    from repro.cli import main
+
+    store = run_cli_sweep(tmp_path, capsys)
+    assert main(["sweep", "report", "telcli", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "## Overview" in out
+    assert "## Outcome grid" in out
+    assert "## Telemetry snapshot" in out
+    assert "| mcf | ok | ok |" in out
+
+
+def test_cli_journal_flags_are_mutually_exclusive(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "run", "smoke", "--store",
+                 str(tmp_path / "s.db"), "--journal", "j.jsonl",
+                 "--no-journal"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
